@@ -1,0 +1,46 @@
+# Reproduction of Mogul & Ramakrishnan, "Eliminating Receive Livelock in
+# an Interrupt-driven Kernel" (USENIX 1996).
+
+GO ?= go
+
+.PHONY: all build test vet bench figures plots examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in the repository.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every figure from the paper's evaluation.
+figures:
+	$(GO) run ./cmd/lkfigures
+
+plots:
+	$(GO) run ./cmd/lkfigures -plot
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/firewall
+	$(GO) run ./examples/userprogress
+	$(GO) run ./examples/burstlatency
+	$(GO) run ./examples/rpcserver
+	$(GO) run ./examples/monitor
+	$(GO) run ./examples/flowcontrol
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,471 @@
+package livelock
+
+// The benchmark harness regenerates every figure in the paper's
+// evaluation (§6-§7). Each BenchmarkFigNN runs the corresponding sweep
+// and reports the figure's headline quantities as custom metrics, so
+// `go test -bench .` reproduces the paper's results table-style:
+//
+//   - peak_pps       — the curve's maximum forwarding rate (MLFRR);
+//   - final_pps      — forwarding rate at the highest offered load
+//     (equal to the peak for livelock-free curves, ~0 for livelocked);
+//   - user_pct_*     — figure 7-1's user-CPU plateaus.
+//
+// Ablation benches then vary the design parameters DESIGN.md calls out
+// (interrupt batching, TX ring depth, feedback watermarks, quota ×
+// burstiness), and microbenches measure the substrate itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"livelock/internal/cpu"
+	"livelock/internal/experiment"
+	"livelock/internal/kernel"
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// benchOpts keeps figure benches fast while preserving the shapes: a
+// coarser rate axis and a 1.5 s measurement window per point.
+var benchOpts = Options{
+	Rates:   []float64{1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000, 12000},
+	Warmup:  300 * Millisecond,
+	Measure: 1500 * Millisecond,
+}
+
+// reportSeries attaches a series' headline numbers to the benchmark.
+func reportSeries(b *testing.B, fig Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		label := sanitizeLabel(s.Label)
+		b.ReportMetric(s.Peak(), "peak_pps:"+label)
+		b.ReportMetric(s.Final(), "final_pps:"+label)
+	}
+}
+
+func sanitizeLabel(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == ',':
+			out = append(out, '_')
+		case r == '(' || r == ')' || r == '=':
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig61 regenerates figure 6-1: forwarding performance of the
+// unmodified kernel with and without screend.
+func BenchmarkFig61(b *testing.B) {
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig61(benchOpts)
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig63 regenerates figure 6-3: the modified kernel without
+// screend (unmodified / no-polling / quota 5 / no quota).
+func BenchmarkFig63(b *testing.B) {
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig63(benchOpts)
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig64 regenerates figure 6-4: the screend path (unmodified /
+// polling without feedback / polling with feedback).
+func BenchmarkFig64(b *testing.B) {
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig64(benchOpts)
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig65 regenerates figure 6-5: the quota sweep without
+// screend.
+func BenchmarkFig65(b *testing.B) {
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig65(benchOpts)
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig66 regenerates figure 6-6: the quota sweep with screend
+// and queue-state feedback.
+func BenchmarkFig66(b *testing.B) {
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig66(benchOpts)
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig71 regenerates figure 7-1: user-mode CPU availability
+// under the cycle-limit mechanism. Reported metrics are the user-CPU
+// percentage at the highest input rate for each threshold.
+func BenchmarkFig71(b *testing.B) {
+	o := benchOpts
+	o.Rates = []float64{0, 2000, 4000, 6000, 8000, 10000}
+	var fig Figure
+	for i := 0; i < b.N; i++ {
+		fig = Fig71(o)
+	}
+	for _, s := range fig.Series {
+		b.ReportMetric(s.Points[len(s.Points)-1].UserPct, "user_pct:"+sanitizeLabel(s.Label))
+		b.ReportMetric(s.Points[0].UserPct, "user_pct_idle:"+sanitizeLabel(s.Label))
+	}
+}
+
+// BenchmarkMLFRR reports the §3 MLFRR estimates for the main kernel
+// configurations.
+func BenchmarkMLFRR(b *testing.B) {
+	o := Options{Warmup: 300 * Millisecond, Measure: Second}
+	var unmod, polled float64
+	for i := 0; i < b.N; i++ {
+		unmod = MLFRR(Config{Mode: ModeUnmodified}, 0.98, o)
+		polled = MLFRR(Config{Mode: ModePolled, Quota: 5}, 0.98, o)
+	}
+	b.ReportMetric(unmod, "mlfrr_pps:unmodified")
+	b.ReportMetric(polled, "mlfrr_pps:polled_q5")
+}
+
+// BenchmarkBurstLatency reports §4.3's first-of-burst latency for
+// 32-packet wire-speed bursts.
+func BenchmarkBurstLatency(b *testing.B) {
+	o := Options{Warmup: 200 * Millisecond, Measure: Second}
+	var u, p experiment.LatencyPoint
+	for i := 0; i < b.N; i++ {
+		u = BurstLatency(ModeUnmodified, 32, o)
+		p = BurstLatency(ModePolled, 32, o)
+	}
+	b.ReportMetric(u.FirstPkt.Micros(), "first_pkt_us:unmodified")
+	b.ReportMetric(p.FirstPkt.Micros(), "first_pkt_us:polled")
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationBatching measures how interrupt batching shifts the
+// overload behaviour of the unmodified kernel (§4.2: batching moves the
+// livelock point but does not prevent livelock). Batching only engages
+// once arrivals outpace the handler, so the comparison runs near the
+// livelock point.
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, batching := range []bool{true, false} {
+		name := "batched"
+		if !batching {
+			name = "per-packet-interrupts"
+		}
+		b.Run(name, func(b *testing.B) {
+			var out float64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Mode: ModeUnmodified, DisableBatching: !batching}
+				out = RunTrial(cfg, 13500, 300*Millisecond, Second).OutputRate
+			}
+			b.ReportMetric(out, "out_pps_at_13500")
+		})
+	}
+}
+
+// BenchmarkAblationTxRing varies the transmit descriptor ring against
+// the no-quota kernel: deeper rings delay, but do not avoid, transmit
+// starvation (§4.4/§6.6).
+func BenchmarkAblationTxRing(b *testing.B) {
+	for _, ring := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("txring=%d", ring), func(b *testing.B) {
+			var out float64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Mode: ModePolled, Quota: -1}
+				cfg.NIC.RxRing = 32
+				cfg.NIC.TxRing = ring
+				out = RunTrial(cfg, 9000, 300*Millisecond, Second).OutputRate
+			}
+			b.ReportMetric(out, "out_pps_at_9000")
+		})
+	}
+}
+
+// BenchmarkAblationWatermarks varies the feedback hysteresis (§6.6.1:
+// "we chose these high and low water marks arbitrarily, and some tuning
+// might help").
+func BenchmarkAblationWatermarks(b *testing.B) {
+	for _, wm := range []struct{ high, low int }{
+		{28, 4}, {24, 8}, {20, 12}, {16, 14},
+	} {
+		b.Run(fmt.Sprintf("high=%d,low=%d", wm.high, wm.low), func(b *testing.B) {
+			var out float64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Mode: ModePolled, Quota: 10, Screend: true, Feedback: true,
+					ScreendQHigh: wm.high, ScreendQLow: wm.low}
+				out = RunTrial(cfg, 10000, 300*Millisecond, Second).OutputRate
+			}
+			b.ReportMetric(out, "out_pps_at_10000")
+		})
+	}
+}
+
+// BenchmarkAblationRED compares drop-tail against Random Early
+// Detection on a congested output link (§8: "other [drop] policies
+// might provide better results" — Floyd & Jacobson, reference [3]).
+// Two inputs send 1514-byte frames at 600/s each into one ~812 frame/s
+// output Ethernet.
+func BenchmarkAblationRED(b *testing.B) {
+	run := func(red bool) (outPkts float64, p50ms float64) {
+		eng := sim.NewEngine()
+		r := kernel.NewRouter(eng, kernel.Config{
+			Mode: kernel.ModePolled, Quota: 5, OutputRED: red, InputNICs: 2})
+		for i := 0; i < 2; i++ {
+			gcfg := workload.Config{
+				Arrival:      workload.Poisson{Rate: 600},
+				SrcMAC:       netstack.MAC{0xbb, 0, 0, 0, 0, byte(i + 1)},
+				DstMAC:       r.Ins[i].MAC(),
+				SrcIP:        kernel.InputSourceIP(i),
+				DstIP:        kernel.PhantomDest,
+				SrcPort:      5000 + uint16(i),
+				DstPort:      9,
+				PayloadBytes: 1460,
+			}
+			workload.NewGenerator(r.Eng, r.RNG, r.SourceWires[i], r.Pool, gcfg).Start()
+		}
+		eng.Run(sim.Time(3 * sim.Second))
+		return float64(r.Delivered()) / 3,
+			float64(r.Sink.Latency.Quantile(0.5)) / float64(sim.Millisecond)
+	}
+	for _, red := range []bool{false, true} {
+		name := "drop-tail"
+		if red {
+			name = "red"
+		}
+		b.Run(name, func(b *testing.B) {
+			var out, p50 float64
+			for i := 0; i < b.N; i++ {
+				out, p50 = run(red)
+			}
+			b.ReportMetric(out, "out_pps")
+			b.ReportMetric(p50, "p50_ms")
+		})
+	}
+}
+
+// BenchmarkAblationQuotaBurstiness crosses the quota with arrival
+// burstiness: quotas matter more when arrivals cluster.
+func BenchmarkAblationQuotaBurstiness(b *testing.B) {
+	arrivals := map[string]func() workload.Arrival{
+		"constant": func() workload.Arrival { return workload.ConstantRate{Rate: 9000, JitterFrac: 0.05} },
+		"poisson":  func() workload.Arrival { return workload.Poisson{Rate: 9000} },
+		"bursty": func() workload.Arrival {
+			return &workload.Burst{PeakRate: 14880, On: 4 * sim.Millisecond, Off: 2600 * sim.Microsecond}
+		},
+	}
+	for _, q := range []int{5, 100} {
+		for name, mk := range arrivals {
+			b.Run(fmt.Sprintf("quota=%d/%s", q, name), func(b *testing.B) {
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					eng := sim.NewEngine()
+					r := kernel.NewRouter(eng, kernel.Config{Mode: kernel.ModePolled, Quota: q})
+					gen := r.AttachGenerator(0, mk(), 0)
+					gen.Start()
+					eng.Run(sim.Time(300 * sim.Millisecond))
+					before := r.Delivered()
+					eng.RunFor(sim.Duration(sim.Second))
+					rate = float64(r.Delivered() - before)
+				}
+				b.ReportMetric(rate, "out_pps")
+			})
+		}
+	}
+}
+
+// --- microbenches for the substrate itself ---
+
+// BenchmarkEngineEvents measures raw event throughput of the simulator.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			eng.After(1000, fire)
+		}
+	}
+	eng.After(1000, fire)
+	b.ResetTimer()
+	eng.Run(sim.Time(int64(b.N+1) * 1000))
+}
+
+// BenchmarkCPUDispatch measures the scheduling path: post + preempt +
+// complete across two priority levels.
+func BenchmarkCPUDispatch(b *testing.B) {
+	eng := sim.NewEngine()
+	c := cpu.New(eng)
+	low := c.NewTask("low", cpu.IPLThread, 0, cpu.ClassUser)
+	high := c.NewTask("high", cpu.IPLDevice, 0, cpu.ClassIntr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		low.Post(100, nil)
+		high.Post(10, nil) // preempts low
+		eng.Run(eng.Now().Add(1000))
+	}
+}
+
+// BenchmarkChecksum measures RFC 1071 checksum over a minimum frame.
+func BenchmarkChecksum(b *testing.B) {
+	buf := make([]byte, 60)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netstack.Checksum(buf)
+	}
+}
+
+// BenchmarkForward measures the full forwarding decision on a real
+// frame: parse, TTL decrement with incremental checksum, LPM lookup,
+// ARP, link-header rewrite.
+func BenchmarkForward(b *testing.B) {
+	routes := netstack.NewRoutingTable()
+	routes.Insert(netstack.Route{Prefix: netstack.AddrFrom(10, 0, 1, 0), Bits: 24, IfIndex: 1})
+	arp := netstack.NewARPTable()
+	arp.InsertPhantom(netstack.AddrFrom(10, 0, 1, 9))
+	fwd := netstack.NewForwarder(routes, arp)
+	fwd.IfMAC[1] = netstack.MAC{0xaa, 0, 0, 0, 0, 1}
+	spec := &netstack.FrameSpec{
+		SrcIP: netstack.AddrFrom(10, 0, 0, 2), DstIP: netstack.AddrFrom(10, 0, 1, 9),
+		SrcPort: 1, DstPort: 9, Payload: []byte{1, 2, 3, 4}, UDPChecksum: true,
+		TTL: 255,
+	}
+	frame := make([]byte, spec.FrameLen())
+	n, err := netstack.BuildUDPFrame(frame, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame = frame[:n]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%250 == 0 {
+			// Refresh the TTL before it runs out.
+			frame[netstack.EthHeaderLen+8] = 255
+			ip := frame[netstack.EthHeaderLen:]
+			ip[10], ip[11] = 0, 0
+			c := netstack.Checksum(ip[:netstack.IPv4HeaderLen])
+			ip[10], ip[11] = byte(c>>8), byte(c)
+		}
+		if _, err := fwd.Forward(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingLookup measures LPM over a populated trie.
+func BenchmarkRoutingLookup(b *testing.B) {
+	rt := netstack.NewRoutingTable()
+	rng := sim.NewRNG(7)
+	for i := 0; i < 1024; i++ {
+		rt.Insert(netstack.Route{
+			Prefix:  netstack.AddrFromUint32(uint32(rng.Uint64())),
+			Bits:    8 + rng.Intn(25),
+			IfIndex: i,
+		})
+	}
+	rt.Insert(netstack.Route{Bits: 0, IfIndex: 9999}) // default
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Lookup(netstack.AddrFromUint32(uint32(i) * 2654435761)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedSecond measures how fast the full router simulation
+// runs relative to real time at the paper's peak load.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		r := kernel.NewRouter(eng, kernel.Config{Mode: kernel.ModePolled, Quota: 5})
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 5000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+	}
+}
+
+// BenchmarkAblationScreendRules scales the screend rule list (§5.4:
+// inefficient code lowers the MLFRR and brings livelock closer).
+func BenchmarkAblationScreendRules(b *testing.B) {
+	for _, rules := range []int{1, 20, 60} {
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Mode: ModeUnmodified, Screend: true, ScreendRules: rules}
+				peak = RunTrial(cfg, 2000, 300*Millisecond, Second).OutputRate
+			}
+			b.ReportMetric(peak, "out_pps_at_2000")
+		})
+	}
+}
+
+// BenchmarkAblationFastPath measures §5.4's fast-path claim: a
+// destination cache raises throughput at and beyond the MLFRR,
+// postponing (not preventing) livelock.
+func BenchmarkAblationFastPath(b *testing.B) {
+	for _, fast := range []bool{false, true} {
+		name := "slow-path"
+		if fast {
+			name = "fast-path"
+		}
+		b.Run(name, func(b *testing.B) {
+			var at6k, at11k float64
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Mode: ModeUnmodified, FastPath: fast}
+				at6k = RunTrial(cfg, 6000, 300*Millisecond, Second).OutputRate
+				at11k = RunTrial(cfg, 11000, 300*Millisecond, Second).OutputRate
+			}
+			b.ReportMetric(at6k, "out_pps_at_6000")
+			b.ReportMetric(at11k, "out_pps_at_11000")
+		})
+	}
+}
+
+// BenchmarkAblationTCPFlavor compares Tahoe and Reno loss recovery for
+// the same lossy transfer.
+func BenchmarkAblationTCPFlavor(b *testing.B) {
+	for _, reno := range []bool{false, true} {
+		name := "tahoe"
+		if reno {
+			name = "reno"
+		}
+		b.Run(name, func(b *testing.B) {
+			var segs, goodput float64
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				r := kernel.NewRouter(eng, kernel.Config{
+					Mode: kernel.ModeUnmodified, InputNICs: 2})
+				rx := r.OpenTCPReceiver(8080)
+				snd := r.AttachTCPSender(0, kernel.TCPSenderConfig{
+					Port: 8080, MSS: 512, Reno: reno})
+				gen := r.AttachGenerator(1, workload.ConstantRate{Rate: 3500, JitterFrac: 0.05}, 0)
+				gen.Start()
+				snd.Start()
+				eng.Run(sim.Time(3 * sim.Second))
+				segs = float64(snd.SegmentsSent.Value())
+				goodput = float64(rx.GoodputBytes) / 3
+			}
+			b.ReportMetric(goodput, "goodput_Bps")
+			b.ReportMetric(segs, "segments_sent")
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Command lkfigures regenerates the paper's evaluation figures as text
+// tables or CSV.
+//
+// Usage:
+//
+//	lkfigures                  # all figures, text tables on stdout
+//	lkfigures -fig 6-4         # one figure
+//	lkfigures -fig latency     # the §4.3 burst-latency comparison
+//	lkfigures -fig mlfrr       # MLFRR estimates for the main kernels
+//	lkfigures -csv -out dir    # write <dir>/fig-<id>.csv files
+//	lkfigures -measure 3s      # measurement window per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"livelock"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lkfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lkfigures", flag.ContinueOnError)
+	fs.SetOutput(w)
+	figID := fs.String("fig", "all", `figure to run: 6-1, 6-3, 6-4, 6-5, 6-6, 7-1, "latency", "mlfrr", "clocked", "tcp" or "all"`)
+	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
+	asPlot := fs.Bool("plot", false, "render text scatter plots instead of tables")
+	outDir := fs.String("out", "", "directory for per-figure CSV files (implies -csv)")
+	measure := fs.Duration("measure", 3*time.Second, "simulated measurement window per point")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "simulated warmup excluded from measurement")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := livelock.Options{
+		Warmup:  livelock.Duration(warmup.Nanoseconds()),
+		Measure: livelock.Duration(measure.Nanoseconds()),
+		Seed:    *seed,
+	}
+
+	switch *figID {
+	case "latency":
+		return livelock.WriteBurstLatencyTable(w, opts)
+	case "mlfrr":
+		return writeMLFRR(w, opts)
+	case "clocked":
+		return livelock.WriteClockedTable(w, opts)
+	case "tcp":
+		return livelock.WriteTCPTable(w, opts)
+	}
+
+	var figs []livelock.Figure
+	if *figID == "all" {
+		figs = livelock.AllFigures(opts)
+	} else {
+		runner := livelock.FigureByID(*figID)
+		if runner == nil {
+			return fmt.Errorf("unknown figure %q", *figID)
+		}
+		figs = []livelock.Figure{runner(opts)}
+	}
+
+	for _, fig := range figs {
+		switch {
+		case *outDir != "":
+			path := filepath.Join(*outDir, "fig-"+fig.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", path)
+		case *csv:
+			if err := fig.WriteCSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		case *asPlot:
+			if err := fig.WritePlot(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		default:
+			if err := fig.WriteTable(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func writeMLFRR(w io.Writer, opts livelock.Options) error {
+	rows := []struct {
+		name string
+		cfg  livelock.Config
+	}{
+		{"unmodified", livelock.Config{Mode: livelock.ModeUnmodified}},
+		{"unmodified + screend", livelock.Config{Mode: livelock.ModeUnmodified, Screend: true}},
+		{"polled (quota 5)", livelock.Config{Mode: livelock.ModePolled, Quota: 5}},
+		{"polled + screend + feedback", livelock.Config{
+			Mode: livelock.ModePolled, Quota: 10, Screend: true, Feedback: true}},
+	}
+	fmt.Fprintln(w, "MLFRR estimates (98% loss-free, §3):")
+	for _, row := range rows {
+		m := livelock.MLFRR(row.cfg, 0.98, opts)
+		if _, err := fmt.Fprintf(w, "  %-30s %6.0f pkts/sec\n", row.name, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs keeps the sweeps short for testing.
+var fastArgs = []string{"-warmup", "100ms", "-measure", "300ms"}
+
+func TestRunSingleFigureTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "6-1"}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6-1") || !strings.Contains(out, "With screend") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "7-1", "-csv"}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "input_rate,") {
+		t.Fatalf("csv output wrong:\n%.100s", buf.String())
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "6-3", "-plot"}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Polling (no quota)") {
+		t.Fatalf("plot legend missing:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "6-4", "-out", dir}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig-6-4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Polling w/feedback") {
+		t.Fatalf("csv file wrong:\n%s", data)
+	}
+}
+
+func TestRunMLFRR(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "mlfrr"}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MLFRR estimates") {
+		t.Fatalf("mlfrr output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunLatency(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-fig", "latency"}, fastArgs...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "first-of-burst") {
+		t.Fatalf("latency output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "9-9"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPolled(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "polled", "-rate", "8000", "-quota", "5",
+		"-warmup", "200ms", "-measure", "500ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"forwarded:", "conservation     OK", "poller:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnmodifiedScreend(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "unmodified", "-screend", "-rate", "7000",
+		"-warmup", "200ms", "-measure", "500ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "screendq drops") {
+		t.Fatalf("missing drop table:\n%s", buf.String())
+	}
+}
+
+func TestRunWithUserAndCycleLimit(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "polled", "-user", "-cyclelimit", "0.5",
+		"-rate", "10000", "-warmup", "200ms", "-measure", "500ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "user CPU:") {
+		t.Fatalf("missing user CPU line:\n%s", buf.String())
+	}
+}
+
+func TestRunPoisson(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-poisson", "-rate", "2000",
+		"-warmup", "100ms", "-measure", "300ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "bogus"}, &buf); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

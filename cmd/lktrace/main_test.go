@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceUnmodifiedOverload(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "unmodified", "-screend", "-rate", "9000",
+		"-for", "15ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "events total") {
+		t.Fatalf("summary missing:\n%.200s", out)
+	}
+	if !strings.Contains(out, "DROP") {
+		t.Fatalf("no drops traced under overload:\n%.400s", out)
+	}
+}
+
+func TestTraceSinglePacket(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "polled", "-rate", "500", "-for", "20ms",
+		"-pkt", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if out == "" {
+		t.Fatal("no lifecycle for packet 3")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "pkt#3 ") {
+			t.Fatalf("foreign packet in filtered dump: %q", line)
+		}
+	}
+}
+
+func TestTraceBadMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "nope"}, &buf); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

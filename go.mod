@@ -1,0 +1,3 @@
+module livelock
+
+go 1.22

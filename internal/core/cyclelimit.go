@@ -1,0 +1,93 @@
+package core
+
+import (
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// CycleLimiter implements §7's mechanism for guaranteeing progress to
+// user-level processes: the CPU time spent in packet processing is
+// accumulated over a fixed period (the paper uses 10 ms, matching the
+// scheduler quantum); once the running total exceeds a threshold
+// fraction of the period, input handling is inhibited for the remainder
+// of the period. A period-boundary timer clears the total and re-enables
+// input; execution of the idle loop also re-enables input and clears the
+// total (there is obviously no need to throttle packet processing while
+// the CPU has spare cycles).
+type CycleLimiter struct {
+	gate   *Gate
+	source string
+
+	// Period is the accounting period (paper: 10 ms).
+	Period sim.Duration
+	// Threshold is the fraction of each period that packet processing
+	// may use, in [0, 1]. 1 disables limiting.
+	Threshold float64
+
+	used   sim.Duration
+	budget sim.Duration
+
+	// Inhibits counts threshold crossings; IdleResets counts early
+	// re-enables from the idle loop.
+	Inhibits   *stats.Counter
+	IdleResets *stats.Counter
+}
+
+// NewCycleLimiter returns a limiter operating on gate under the given
+// source name. Call Start to arm the period timer.
+func NewCycleLimiter(gate *Gate, source string, period sim.Duration, threshold float64) *CycleLimiter {
+	if period <= 0 {
+		panic("core: non-positive cycle-limit period")
+	}
+	if threshold < 0 || threshold > 1 {
+		panic("core: threshold outside [0,1]")
+	}
+	return &CycleLimiter{
+		gate:       gate,
+		source:     source,
+		Period:     period,
+		Threshold:  threshold,
+		budget:     sim.Duration(float64(period) * threshold),
+		Inhibits:   stats.NewCounter(source + ".inhibits"),
+		IdleResets: stats.NewCounter(source + ".idleresets"),
+	}
+}
+
+// NoteUsage records CPU time spent in packet processing (invoked from
+// the poller's usage hook at each callback-visit boundary — the paper
+// notes the cycle threshold "is checked only after handling a burst of
+// input packets"). Crossing the budget inhibits input immediately.
+func (l *CycleLimiter) NoteUsage(d sim.Duration) {
+	l.used += d
+	if l.Threshold >= 1 {
+		return
+	}
+	if l.used >= l.budget && !l.gate.Holds(l.source) {
+		l.Inhibits.Inc()
+		l.gate.Inhibit(l.source)
+	}
+}
+
+// Tick is the period-boundary timer function: it clears the running
+// total and re-enables input handling.
+func (l *CycleLimiter) Tick() {
+	l.used = 0
+	l.gate.Release(l.source)
+}
+
+// OnIdle is the idle-thread hook: spare cycles mean packet processing
+// cannot be starving anyone, so the total is cleared and input
+// re-enabled early.
+func (l *CycleLimiter) OnIdle() {
+	if l.used != 0 || l.gate.Holds(l.source) {
+		l.IdleResets.Inc()
+	}
+	l.used = 0
+	l.gate.Release(l.source)
+}
+
+// Used returns the running total for the current period.
+func (l *CycleLimiter) Used() sim.Duration { return l.used }
+
+// Inhibited reports whether the limiter currently inhibits input.
+func (l *CycleLimiter) Inhibited() bool { return l.gate.Holds(l.source) }

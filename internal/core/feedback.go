@@ -1,0 +1,83 @@
+package core
+
+import (
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// Feedback implements queue-state feedback (§6.6.1): when a downstream
+// queue (e.g. the screend input queue) reaches its high watermark, input
+// processing is inhibited so the CPU drains the queue instead of
+// wastefully filling it; input is re-enabled when the queue falls to its
+// low watermark, or after a timeout in case the consumer is hung ("we
+// also set a timeout, arbitrarily chosen as one clock tick, or about
+// 1 msec ... so that packets for other consumers are not dropped
+// indefinitely").
+//
+// Wire QueueHigh/QueueLow to the queue's watermark callbacks and pass a
+// Gate source name; Feedback manipulates the gate.
+type Feedback struct {
+	eng     *sim.Engine
+	gate    *Gate
+	source  string
+	timeout sim.Duration
+	timer   *sim.Event
+
+	// Inhibits counts transitions into the inhibited state; Timeouts
+	// counts re-enables forced by the timeout rather than the low
+	// watermark.
+	Inhibits *stats.Counter
+	Timeouts *stats.Counter
+}
+
+// NewFeedback returns a controller operating on gate under the given
+// source name. timeout <= 0 disables the hang-recovery timer.
+func NewFeedback(eng *sim.Engine, gate *Gate, source string, timeout sim.Duration) *Feedback {
+	return &Feedback{
+		eng: eng, gate: gate, source: source, timeout: timeout,
+		Inhibits: stats.NewCounter(source + ".inhibits"),
+		Timeouts: stats.NewCounter(source + ".timeouts"),
+	}
+}
+
+// QueueHigh handles the queue reaching its high watermark.
+func (f *Feedback) QueueHigh() {
+	if f.gate.Holds(f.source) {
+		return
+	}
+	f.Inhibits.Inc()
+	f.gate.Inhibit(f.source)
+	if f.timeout > 0 {
+		f.timer = f.eng.After(f.timeout, f.onTimeout)
+	}
+}
+
+// QueueLow handles the queue draining to its low watermark.
+func (f *Feedback) QueueLow() {
+	f.eng.Cancel(f.timer)
+	f.timer = nil
+	f.gate.Release(f.source)
+}
+
+// Progress notes that the protected queue's consumer handled a packet.
+// While input is inhibited, progress re-arms the hang-recovery timer:
+// the timeout exists to catch a *hung* consumer ("in case the screend
+// program is hung"), so a live consumer should never trip it even when a
+// full drain takes longer than the timeout.
+func (f *Feedback) Progress() {
+	if f.timer != nil && f.timer.Pending() {
+		f.eng.Cancel(f.timer)
+		f.timer = f.eng.After(f.timeout, f.onTimeout)
+	}
+}
+
+func (f *Feedback) onTimeout() {
+	f.timer = nil
+	if f.gate.Holds(f.source) {
+		f.Timeouts.Inc()
+		f.gate.Release(f.source)
+	}
+}
+
+// Inhibited reports whether this controller currently inhibits input.
+func (f *Feedback) Inhibited() bool { return f.gate.Holds(f.source) }

@@ -1,0 +1,46 @@
+package core
+
+// Gate aggregates input-inhibition requests from independent sources
+// (queue-state feedback, the CPU cycle limiter, diagnostics). Input is
+// allowed only while no source holds an inhibition. The kernel consults
+// Open from the poller's receive gate and from the interrupt re-enable
+// path.
+type Gate struct {
+	holders map[string]bool
+	// OnChange, if set, is invoked when the gate transitions between
+	// open and closed.
+	OnChange func(open bool)
+}
+
+// NewGate returns an open gate.
+func NewGate() *Gate {
+	return &Gate{holders: make(map[string]bool)}
+}
+
+// Open reports whether input processing is currently allowed.
+func (g *Gate) Open() bool { return len(g.holders) == 0 }
+
+// Inhibit closes the gate on behalf of source. Repeated inhibition by
+// the same source is idempotent.
+func (g *Gate) Inhibit(source string) {
+	was := g.Open()
+	g.holders[source] = true
+	if was && g.OnChange != nil {
+		g.OnChange(false)
+	}
+}
+
+// Release removes source's inhibition. Releasing a source that holds no
+// inhibition is a no-op.
+func (g *Gate) Release(source string) {
+	if !g.holders[source] {
+		return
+	}
+	delete(g.holders, source)
+	if g.Open() && g.OnChange != nil {
+		g.OnChange(true)
+	}
+}
+
+// Holds reports whether source currently inhibits the gate.
+func (g *Gate) Holds(source string) bool { return g.holders[source] }

@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+func TestGateBasics(t *testing.T) {
+	g := NewGate()
+	if !g.Open() {
+		t.Fatal("new gate should be open")
+	}
+	var transitions []bool
+	g.OnChange = func(open bool) { transitions = append(transitions, open) }
+
+	g.Inhibit("feedback")
+	if g.Open() {
+		t.Fatal("gate open after inhibit")
+	}
+	g.Inhibit("feedback") // idempotent
+	g.Inhibit("cycles")
+	g.Release("feedback")
+	if g.Open() {
+		t.Fatal("gate open while another source holds it")
+	}
+	g.Release("cycles")
+	if !g.Open() {
+		t.Fatal("gate closed after all releases")
+	}
+	want := []bool{false, true}
+	if len(transitions) != 2 || transitions[0] != want[0] || transitions[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v (edge-triggered only)", transitions, want)
+	}
+}
+
+func TestGateReleaseWithoutHold(t *testing.T) {
+	g := NewGate()
+	fired := false
+	g.OnChange = func(bool) { fired = true }
+	g.Release("nobody")
+	if fired {
+		t.Fatal("OnChange fired for a no-op release")
+	}
+}
+
+func TestGateHolds(t *testing.T) {
+	g := NewGate()
+	g.Inhibit("a")
+	if !g.Holds("a") || g.Holds("b") {
+		t.Fatal("Holds misreported")
+	}
+}

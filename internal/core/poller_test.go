@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"livelock/internal/cpu"
+	"livelock/internal/sim"
+)
+
+const us = sim.Microsecond
+
+// fakeDevice provides scripted work for poller tests.
+type fakeDevice struct {
+	name    string
+	rxWork  int // units of rx work remaining
+	txWork  int
+	rxCost  sim.Duration
+	txCost  sim.Duration
+	rxDone  int
+	txDone  int
+	enables int
+	// order records the interleaving of processed units.
+	order *[]string
+}
+
+func (f *fakeDevice) device() *Device {
+	return &Device{
+		Name: f.name,
+		Rx: func() (sim.Duration, func(), bool) {
+			if f.rxWork == 0 {
+				return 0, nil, false
+			}
+			f.rxWork--
+			return f.rxCost, func() {
+				f.rxDone++
+				if f.order != nil {
+					*f.order = append(*f.order, f.name+".rx")
+				}
+			}, true
+		},
+		Tx: func() (sim.Duration, func(), bool) {
+			if f.txWork == 0 {
+				return 0, nil, false
+			}
+			f.txWork--
+			return f.txCost, func() {
+				f.txDone++
+				if f.order != nil {
+					*f.order = append(*f.order, f.name+".tx")
+				}
+			}, true
+		},
+		EnableInterrupts: func() { f.enables++ },
+	}
+}
+
+func newPollerHarness(quota int) (*sim.Engine, *cpu.CPU, *Poller) {
+	eng := sim.NewEngine()
+	c := cpu.New(eng)
+	p := NewPoller(eng, c, 10, PollerConfig{
+		Quota:      quota,
+		WakeupCost: 10 * us,
+		RoundCost:  5 * us,
+	})
+	return eng, c, p
+}
+
+func TestPollerProcessesAllWork(t *testing.T) {
+	eng, _, p := newPollerHarness(5)
+	f := &fakeDevice{name: "d0", rxWork: 12, txWork: 3, rxCost: 10 * us, txCost: 5 * us}
+	p.Register(f.device())
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	if f.rxDone != 12 || f.txDone != 3 {
+		t.Fatalf("processed rx=%d tx=%d, want 12/3", f.rxDone, f.txDone)
+	}
+	if p.RxSteps.Value() != 12 || p.TxSteps.Value() != 3 {
+		t.Fatalf("counters rx=%d tx=%d", p.RxSteps.Value(), p.TxSteps.Value())
+	}
+	if f.enables != 1 {
+		t.Fatalf("EnableInterrupts called %d times, want 1", f.enables)
+	}
+	if p.Scheduled() {
+		t.Fatal("poller still scheduled after draining")
+	}
+}
+
+func TestPollerQuotaInterleavesDirections(t *testing.T) {
+	eng, _, p := newPollerHarness(2)
+	var order []string
+	f := &fakeDevice{name: "d0", rxWork: 4, txWork: 4, rxCost: 10 * us, txCost: 10 * us, order: &order}
+	p.Register(f.device())
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	want := []string{"d0.rx", "d0.rx", "d0.tx", "d0.tx", "d0.rx", "d0.rx", "d0.tx", "d0.tx"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPollerRoundRobinAcrossDevices(t *testing.T) {
+	eng, _, p := newPollerHarness(1)
+	var order []string
+	a := &fakeDevice{name: "a", rxWork: 2, rxCost: 10 * us, order: &order}
+	b := &fakeDevice{name: "b", rxWork: 2, rxCost: 10 * us, order: &order}
+	p.Register(a.device())
+	p.Register(b.device())
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	want := []string{"a.rx", "b.rx", "a.rx", "b.rx"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (fair round-robin)", order, want)
+		}
+	}
+}
+
+func TestPollerUnlimitedQuotaDrainsBeforeTx(t *testing.T) {
+	// With no quota, the rx callback keeps control until its work is
+	// exhausted — the behaviour that causes transmit starvation.
+	eng, _, p := newPollerHarness(0)
+	var order []string
+	f := &fakeDevice{name: "d", rxWork: 5, txWork: 1, rxCost: 10 * us, txCost: 10 * us, order: &order}
+	p.Register(f.device())
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	for i := 0; i < 5; i++ {
+		if order[i] != "d.rx" {
+			t.Fatalf("order = %v: tx ran before rx drained with no quota", order)
+		}
+	}
+	if order[5] != "d.tx" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPollerScheduleIdempotent(t *testing.T) {
+	eng, _, p := newPollerHarness(5)
+	f := &fakeDevice{name: "d", rxWork: 1, rxCost: 10 * us}
+	p.Register(f.device())
+	p.Schedule()
+	p.Schedule()
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	if p.Wakeups.Value() != 1 {
+		t.Fatalf("Wakeups = %d, want 1", p.Wakeups.Value())
+	}
+}
+
+func TestPollerRxGate(t *testing.T) {
+	eng, _, p := newPollerHarness(5)
+	f := &fakeDevice{name: "d", rxWork: 5, txWork: 2, rxCost: 10 * us, txCost: 10 * us}
+	p.Register(f.device())
+	inhibited := true
+	p.SetRxGate(func(*Device) bool { return !inhibited })
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	if f.rxDone != 0 {
+		t.Fatalf("rx processed %d units while inhibited", f.rxDone)
+	}
+	if f.txDone != 2 {
+		t.Fatalf("tx processed %d units, want 2 (tx unaffected by input gate)", f.txDone)
+	}
+	// Re-open the gate and reschedule: rx drains now.
+	inhibited = false
+	p.Schedule()
+	eng.Run(sim.Time(2 * sim.Second))
+	if f.rxDone != 5 {
+		t.Fatalf("rx processed %d units after gate opened, want 5", f.rxDone)
+	}
+}
+
+func TestPollerUsageHook(t *testing.T) {
+	eng, _, p := newPollerHarness(2)
+	f := &fakeDevice{name: "d", rxWork: 4, rxCost: 100 * us}
+	p.Register(f.device())
+	var total sim.Duration
+	p.SetUsageHook(func(d sim.Duration) { total += d })
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	// All poller CPU time must be reported: 4×100µs work + wakeup 10µs +
+	// round costs. Expect total == task consumed.
+	if total != p.Task().Consumed() {
+		t.Fatalf("usage hook total %v != task consumed %v", total, p.Task().Consumed())
+	}
+	if total < 400*us {
+		t.Fatalf("usage %v, want >= 400µs", total)
+	}
+}
+
+func TestPollerWorkArrivingDuringRun(t *testing.T) {
+	eng, _, p := newPollerHarness(5)
+	f := &fakeDevice{name: "d", rxWork: 1, rxCost: 10 * us}
+	p.Register(f.device())
+	p.Schedule()
+	// More work appears mid-run; the extra sweep must pick it up without
+	// a new Schedule call.
+	eng.At(sim.Time(12*us), func() { f.rxWork += 2 })
+	eng.Run(sim.Time(sim.Second))
+	if f.rxDone != 3 {
+		t.Fatalf("rxDone = %d, want 3", f.rxDone)
+	}
+}
+
+func TestPollerReschedulesFromEnable(t *testing.T) {
+	// If EnableInterrupts finds a backlog and calls Schedule (as the NIC
+	// wiring does), the poller must wake again.
+	eng, _, p := newPollerHarness(5)
+	f := &fakeDevice{name: "d", rxWork: 1, rxCost: 10 * us}
+	dev := f.device()
+	enables := 0
+	dev.EnableInterrupts = func() {
+		enables++
+		if enables == 1 {
+			f.rxWork = 1 // a packet arrived while finishing
+			p.Schedule()
+		}
+	}
+	p.Register(dev)
+	p.Schedule()
+	eng.Run(sim.Time(sim.Second))
+	if f.rxDone != 2 {
+		t.Fatalf("rxDone = %d, want 2", f.rxDone)
+	}
+	if p.Wakeups.Value() != 2 {
+		t.Fatalf("Wakeups = %d, want 2", p.Wakeups.Value())
+	}
+}
+
+func TestPollerRegisterValidation(t *testing.T) {
+	_, _, p := newPollerHarness(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering device without steps did not panic")
+		}
+	}()
+	p.Register(&Device{Name: "bad"})
+}

@@ -1,0 +1,416 @@
+// Package cpu models a single processor whose dispatching rules are those
+// of an interrupt-driven UNIX kernel: tasks have an interrupt priority
+// level (IPL) and, within an IPL, a scheduling priority; a task that
+// becomes runnable at a strictly higher (IPL, priority) immediately
+// preempts the running task, while tasks at the same level run FIFO and
+// are never preempted by their peers. This is precisely the structure
+// (§4.1 of the paper) that makes receive livelock possible, so the model
+// reproduces it exactly rather than approximating it.
+//
+// Work is expressed as items: a CPU cost (simulated duration) paid first,
+// then an action function that runs atomically when the cost has been
+// consumed. Preemption can occur at any instant during the cost; the
+// action stands in for the short critical section (guarded by spl() in a
+// real kernel) at the end of a code path, e.g. "enqueue the packet".
+//
+// The CPU keeps cycle accounting per task and per accounting class, and
+// exposes a fine-grained cycle counter equivalent (§7: the Alpha's
+// process cycle counter) via Task.Consumed and CPU.ClassTime.
+package cpu
+
+import (
+	"fmt"
+
+	"livelock/internal/sim"
+)
+
+// IPL is an interrupt priority level. Higher values preempt lower ones.
+type IPL int
+
+// The IPLs used by the kernel models, mirroring the 4.2BSD arrangement in
+// figure 6-2 of the paper: device interrupts (SPLIMP) above the network
+// software interrupt (SPLNET), which is above thread level; the clock is
+// above everything.
+const (
+	IPLThread IPL = 0 // kernel threads and user processes
+	IPLSoft   IPL = 2 // software interrupts (SPLNET)
+	IPLDevice IPL = 4 // network device interrupts (SPLIMP)
+	IPLClock  IPL = 6 // hardclock
+)
+
+// String names the level.
+func (l IPL) String() string {
+	switch l {
+	case IPLThread:
+		return "thread"
+	case IPLSoft:
+		return "softint"
+	case IPLDevice:
+		return "device"
+	case IPLClock:
+		return "clock"
+	default:
+		return fmt.Sprintf("ipl%d", int(l))
+	}
+}
+
+// Class categorizes CPU time for utilization reporting.
+type Class int
+
+// Accounting classes.
+const (
+	ClassIdle   Class = iota
+	ClassIntr         // device interrupt handlers
+	ClassSoft         // software-interrupt protocol processing
+	ClassKernel       // kernel threads (the polling thread)
+	ClassUser         // user processes (screend, compute-bound tasks)
+	ClassClock        // hardclock and timers
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIdle:
+		return "idle"
+	case ClassIntr:
+		return "intr"
+	case ClassSoft:
+		return "soft"
+	case ClassKernel:
+		return "kernel"
+	case ClassUser:
+		return "user"
+	case ClassClock:
+		return "clock"
+	default:
+		return fmt.Sprintf("class%d", int(c))
+	}
+}
+
+type workItem struct {
+	cost sim.Duration // remaining cost
+	fn   func()
+}
+
+// Task is a schedulable entity: an interrupt handler, a software
+// interrupt, a kernel thread, or a user process. A task with no pending
+// work items is blocked (or, for a handler, not asserted); posting work
+// makes it runnable.
+type Task struct {
+	name  string
+	ipl   IPL
+	prio  int
+	class Class
+
+	items    []workItem
+	head     int
+	ready    bool
+	readySeq uint64
+
+	consumed sim.Duration
+	cpu      *CPU
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// IPL returns the task's interrupt priority level.
+func (t *Task) IPL() IPL { return t.ipl }
+
+// Pending returns the number of queued work items (including the one
+// currently executing, if any).
+func (t *Task) Pending() int { return len(t.items) - t.head }
+
+// Consumed returns the total CPU time this task has used, including the
+// partially-consumed current item if the task is running right now. This
+// is the simulation's equivalent of reading the cycle counter around a
+// code region (§7).
+func (t *Task) Consumed() sim.Duration {
+	c := t.consumed
+	if t.cpu.cur == t {
+		c += t.cpu.eng.Now().Sub(t.cpu.curStart)
+	}
+	return c
+}
+
+// Post queues a work item: cost is charged to the CPU first, then fn runs
+// atomically. fn may be nil. Posting to a higher-priority task than the
+// one running preempts immediately. Negative cost panics.
+func (t *Task) Post(cost sim.Duration, fn func()) {
+	if cost < 0 {
+		panic("cpu: negative work cost")
+	}
+	t.items = append(t.items, workItem{cost: cost, fn: fn})
+	c := t.cpu
+	if !t.ready && t != c.cur {
+		c.markReady(t)
+	}
+	c.reschedule()
+}
+
+func (t *Task) popItem() workItem {
+	it := t.items[t.head]
+	t.items[t.head] = workItem{}
+	t.head++
+	if t.head == len(t.items) {
+		t.items = t.items[:0]
+		t.head = 0
+	}
+	return it
+}
+
+func (t *Task) peekItem() *workItem { return &t.items[t.head] }
+
+// CPU is the processor model. It is driven entirely by the simulation
+// engine and must only be used from engine events.
+type CPU struct {
+	eng *sim.Engine
+
+	tasks []*Task
+	ready []*Task
+	seq   uint64
+
+	cur        *Task
+	curStart   sim.Time
+	completion *sim.Event
+
+	idleSince sim.Time
+	isIdle    bool
+	inHooks   bool
+	idleHooks []func()
+
+	classTime   [NumClasses]sim.Duration
+	busy        sim.Duration
+	dispatches  uint64
+	preemptions uint64
+}
+
+// New returns an idle CPU attached to the engine.
+func New(eng *sim.Engine) *CPU {
+	return &CPU{eng: eng, isIdle: true}
+}
+
+// NewTask registers a task. Higher ipl always beats lower; within an
+// ipl, higher prio beats lower; within (ipl, prio), FIFO by the order
+// tasks became runnable.
+func (c *CPU) NewTask(name string, ipl IPL, prio int, class Class) *Task {
+	if class < 0 || class >= NumClasses {
+		panic("cpu: invalid accounting class")
+	}
+	t := &Task{name: name, ipl: ipl, prio: prio, class: class, cpu: c}
+	c.tasks = append(c.tasks, t)
+	return t
+}
+
+// OnIdle registers a hook invoked whenever the CPU runs out of work (the
+// idle thread). Hooks may post work. The modified kernel uses this to
+// re-enable input handling (§7).
+func (c *CPU) OnIdle(fn func()) { c.idleHooks = append(c.idleHooks, fn) }
+
+// Idle reports whether the CPU is currently idle.
+func (c *CPU) Idle() bool { return c.cur == nil }
+
+// Running returns the currently executing task, or nil when idle.
+func (c *CPU) Running() *Task { return c.cur }
+
+// BusyTime returns total non-idle CPU time, including the current
+// partial item.
+func (c *CPU) BusyTime() sim.Duration {
+	b := c.busy
+	if c.cur != nil {
+		b += c.eng.Now().Sub(c.curStart)
+	}
+	return b
+}
+
+// ClassTime returns the CPU time consumed by a class, including the
+// current partial item.
+func (c *CPU) ClassTime(cl Class) sim.Duration {
+	v := c.classTime[cl]
+	if c.cur != nil && c.cur.class == cl {
+		v += c.eng.Now().Sub(c.curStart)
+	}
+	return v
+}
+
+// IdleTime returns accumulated idle time.
+func (c *CPU) IdleTime() sim.Duration {
+	v := c.classTime[ClassIdle]
+	if c.cur == nil && c.isIdle {
+		v += c.eng.Now().Sub(c.idleSince)
+	}
+	return v
+}
+
+// Dispatches returns the number of times a task started executing.
+func (c *CPU) Dispatches() uint64 { return c.dispatches }
+
+// Preemptions returns the number of mid-item preemptions.
+func (c *CPU) Preemptions() uint64 { return c.preemptions }
+
+// higher reports whether a should preempt/beat b.
+func higher(a, b *Task) bool {
+	if a.ipl != b.ipl {
+		return a.ipl > b.ipl
+	}
+	return a.prio > b.prio
+}
+
+// beats orders ready tasks: (ipl, prio) desc, then readySeq asc (FIFO).
+func beats(a, b *Task) bool {
+	if a.ipl != b.ipl {
+		return a.ipl > b.ipl
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.readySeq < b.readySeq
+}
+
+func (c *CPU) markReady(t *Task) {
+	t.ready = true
+	t.readySeq = c.seq
+	c.seq++
+	c.ready = append(c.ready, t)
+}
+
+func (c *CPU) takeBest() *Task {
+	best := -1
+	for i, t := range c.ready {
+		if best < 0 || beats(t, c.ready[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := c.ready[best]
+	last := len(c.ready) - 1
+	c.ready[best] = c.ready[last]
+	c.ready[last] = nil
+	c.ready = c.ready[:last]
+	t.ready = false
+	return t
+}
+
+func (c *CPU) peekBest() *Task {
+	var best *Task
+	for _, t := range c.ready {
+		if best == nil || beats(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (c *CPU) charge(t *Task, d sim.Duration) {
+	t.consumed += d
+	c.classTime[t.class] += d
+	c.busy += d
+}
+
+// reschedule enforces the dispatching invariant: the CPU runs the
+// highest-priority runnable task, preempting mid-item if necessary.
+func (c *CPU) reschedule() {
+	if c.cur != nil {
+		best := c.peekBest()
+		if best == nil || !higher(best, c.cur) {
+			return
+		}
+		c.preempt()
+	}
+	next := c.takeBest()
+	if next == nil {
+		c.enterIdle()
+		return
+	}
+	c.start(next)
+}
+
+func (c *CPU) preempt() {
+	t := c.cur
+	now := c.eng.Now()
+	elapsed := now.Sub(c.curStart)
+	c.charge(t, elapsed)
+	t.peekItem().cost -= elapsed
+	c.eng.Cancel(c.completion)
+	c.completion = nil
+	c.cur = nil
+	c.preemptions++
+	// The preempted task keeps its original readySeq so it resumes
+	// before same-priority tasks that became runnable after it.
+	seq := t.readySeq
+	c.markReady(t)
+	t.readySeq = seq
+}
+
+func (c *CPU) start(t *Task) {
+	now := c.eng.Now()
+	if c.isIdle {
+		c.classTime[ClassIdle] += now.Sub(c.idleSince)
+		c.isIdle = false
+	}
+	c.cur = t
+	c.curStart = now
+	c.dispatches++
+	c.completion = c.eng.After(t.peekItem().cost, c.complete)
+}
+
+func (c *CPU) complete() {
+	t := c.cur
+	c.completion = nil
+	item := t.popItem()
+	c.charge(t, item.cost)
+	c.cur = nil
+	if t.Pending() > 0 {
+		// Refresh the sequence number so equal-priority tasks
+		// round-robin at item granularity.
+		c.markReady(t)
+	}
+	if item.fn != nil {
+		item.fn()
+	}
+	c.reschedule()
+}
+
+func (c *CPU) enterIdle() {
+	if !c.isIdle {
+		c.isIdle = true
+		c.idleSince = c.eng.Now()
+	}
+	if c.inHooks {
+		return
+	}
+	c.inHooks = true
+	for _, h := range c.idleHooks {
+		h()
+		if c.cur != nil {
+			break // a hook posted work and we are running again
+		}
+	}
+	c.inHooks = false
+}
+
+// Utilization returns the fraction of time in [0, now] spent in each
+// class, plus idle as ClassIdle. The fractions sum to ~1 once the clock
+// has advanced.
+func (c *CPU) Utilization() map[Class]float64 {
+	now := c.eng.Now()
+	total := sim.Duration(now)
+	out := make(map[Class]float64, NumClasses)
+	if total <= 0 {
+		return out
+	}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		v := c.classTime[cl]
+		if c.cur != nil && c.cur.class == cl {
+			v += now.Sub(c.curStart)
+		}
+		if cl == ClassIdle && c.cur == nil && c.isIdle {
+			v += now.Sub(c.idleSince)
+		}
+		out[cl] = float64(v) / float64(total)
+	}
+	return out
+}

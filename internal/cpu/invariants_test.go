@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"livelock/internal/sim"
+)
+
+// TestSchedulingInvariants drives the CPU with randomized workloads and
+// checks global invariants that must hold for any schedule:
+//
+//  1. conservation: busy time + idle time == elapsed time;
+//  2. per-task accounting sums to busy time;
+//  3. every posted item eventually completes when given enough time;
+//  4. higher-priority total turnaround never suffers from lower-priority
+//     load (priority isolation: the highest-priority task's completion
+//     time is independent of other tasks).
+func TestSchedulingInvariants(t *testing.T) {
+	type postSpec struct {
+		Task  uint8
+		At    uint16 // µs
+		Cost  uint16 // µs
+		Count uint8
+	}
+	check := func(specs []postSpec) bool {
+		eng := sim.NewEngine()
+		c := New(eng)
+		tasks := []*Task{
+			c.NewTask("intr", IPLDevice, 0, ClassIntr),
+			c.NewTask("soft", IPLSoft, 0, ClassSoft),
+			c.NewTask("kernA", IPLThread, 5, ClassKernel),
+			c.NewTask("kernB", IPLThread, 5, ClassKernel),
+			c.NewTask("user", IPLThread, 1, ClassUser),
+		}
+		completed := 0
+		want := 0
+		var totalCost sim.Duration
+		for _, sp := range specs {
+			task := tasks[int(sp.Task)%len(tasks)]
+			n := int(sp.Count%4) + 1
+			cost := sim.Duration(sp.Cost%500) * sim.Microsecond
+			at := sim.Time(sp.At) * sim.Time(sim.Microsecond)
+			want += n
+			totalCost += sim.Duration(n) * cost
+			for i := 0; i < n; i++ {
+				eng.At(at, func() {
+					task.Post(cost, func() { completed++ })
+				})
+			}
+		}
+		// Far beyond the sum of all work.
+		horizon := sim.Time(sim.Second)
+		eng.Run(horizon)
+
+		if completed != want {
+			return false
+		}
+		if c.BusyTime() != totalCost {
+			return false
+		}
+		var perTask sim.Duration
+		for _, task := range tasks {
+			perTask += task.Consumed()
+		}
+		if perTask != c.BusyTime() {
+			return false
+		}
+		return c.BusyTime()+c.IdleTime() == sim.Duration(horizon)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPriorityIsolationProperty: the completion time of device-IPL work
+// is unaffected by any amount of lower-priority load.
+func TestPriorityIsolationProperty(t *testing.T) {
+	type noise struct {
+		At   uint16
+		Cost uint16
+	}
+	run := func(noisy []noise) sim.Time {
+		eng := sim.NewEngine()
+		c := New(eng)
+		intr := c.NewTask("intr", IPLDevice, 0, ClassIntr)
+		low := c.NewTask("low", IPLThread, 0, ClassUser)
+		for _, n := range noisy {
+			at := sim.Time(n.At) * sim.Time(sim.Microsecond)
+			cost := sim.Duration(n.Cost%200+1) * sim.Microsecond
+			eng.At(at, func() { low.Post(cost, nil) })
+		}
+		var done sim.Time
+		eng.At(sim.Time(10*sim.Millisecond), func() {
+			intr.Post(100*sim.Microsecond, func() { done = eng.Now() })
+		})
+		eng.Run(sim.Time(sim.Second))
+		return done
+	}
+	baseline := run(nil)
+	check := func(noisy []noise) bool {
+		return run(noisy) == baseline
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package experiment regenerates the paper's evaluation: each figure in
+// §6-§7 has a runner that sweeps offered load across the relevant kernel
+// configurations and returns the same series the paper plots. Renderers
+// produce aligned text tables and CSV.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"livelock/internal/kernel"
+	"livelock/internal/plot"
+	"livelock/internal/sim"
+)
+
+// Options control trial execution. The zero value is usable.
+type Options struct {
+	// Rates is the offered-load sweep (pkts/s). Nil selects the
+	// figure's default axis.
+	Rates []float64
+	// Warmup is excluded from measurement (default 500 ms).
+	Warmup sim.Duration
+	// Measure is the measurement window (default 3 s; the paper's
+	// trials sent 10,000 packets, i.e. seconds per point).
+	Measure sim.Duration
+	// Seed overrides the simulation seed (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults(defaultRates []float64) Options {
+	if o.Rates == nil {
+		o.Rates = defaultRates
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500 * sim.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 3 * sim.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one trial: offered load and what came out.
+type Point struct {
+	// InputRate is the measured offered load (pkts/s).
+	InputRate float64
+	// OutputRate is the measured forwarding rate (pkts/s).
+	OutputRate float64
+	// UserPct is the user-process CPU share in percent (figure 7-1).
+	UserPct float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Peak returns the series' maximum output rate (the MLFRR estimate).
+func (s Series) Peak() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.OutputRate > best {
+			best = p.OutputRate
+		}
+	}
+	return best
+}
+
+// Final returns the output rate at the highest offered load.
+func (s Series) Final() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].OutputRate
+}
+
+// Figure is a reproduced figure: several series over a shared x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// defaultThroughputRates is the x-axis of figures 6-1 and 6-3..6-6
+// (0 to 12,000 pkts/s).
+var defaultThroughputRates = []float64{
+	250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000, 5500,
+	6000, 7000, 8000, 9000, 10000, 11000, 12000,
+}
+
+// defaultUserCPURates is the x-axis of figure 7-1 (0 to 10,000 pkts/s).
+var defaultUserCPURates = []float64{
+	0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+}
+
+// sweep measures one configuration across the rates.
+func sweep(cfg kernel.Config, label string, o Options) Series {
+	s := Series{Label: label}
+	for _, rate := range o.Rates {
+		cfg.Seed = o.Seed
+		res := kernel.RunTrial(cfg, rate, o.Warmup, o.Measure)
+		s.Points = append(s.Points, Point{
+			InputRate:  res.InputRate,
+			OutputRate: res.OutputRate,
+			UserPct:    res.UserCPUFrac * 100,
+		})
+	}
+	return s
+}
+
+// Fig61 reproduces figure 6-1: forwarding performance of the unmodified
+// kernel, with and without the screend user-mode filter.
+func Fig61(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	return Figure{
+		ID:     "6-1",
+		Title:  "Forwarding performance of unmodified kernel",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Output packet rate (pkts/sec)",
+		Series: []Series{
+			sweep(kernel.Config{Mode: kernel.ModeUnmodified}, "Without screend", o),
+			sweep(kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}, "With screend", o),
+		},
+	}
+}
+
+// Fig63 reproduces figure 6-3: forwarding performance of the modified
+// kernel without screend — unmodified baseline, the no-polling compat
+// configuration, polling with quota 5, and polling with no quota.
+func Fig63(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	return Figure{
+		ID:     "6-3",
+		Title:  "Forwarding performance of modified kernel, without using screend",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Output packet rate (pkts/sec)",
+		Series: []Series{
+			sweep(kernel.Config{Mode: kernel.ModeUnmodified}, "Unmodified", o),
+			sweep(kernel.Config{Mode: kernel.ModePolledCompat}, "No polling", o),
+			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 5}, "Polling (quota = 5)", o),
+			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: -1}, "Polling (no quota)", o),
+		},
+	}
+}
+
+// Fig64 reproduces figure 6-4: the screend path on the unmodified
+// kernel, the polled kernel without feedback, and the polled kernel with
+// queue-state feedback.
+func Fig64(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	return Figure{
+		ID:     "6-4",
+		Title:  "Forwarding performance of modified kernel, with screend",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Output packet rate (pkts/sec)",
+		Series: []Series{
+			sweep(kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}, "Unmodified", o),
+			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true},
+				"Polling, no feedback", o),
+			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true},
+				"Polling w/feedback", o),
+		},
+	}
+}
+
+// quotaSeries runs the quota sweep common to figures 6-5 and 6-6.
+func quotaSeries(screend, feedback bool, o Options) []Series {
+	var out []Series
+	for _, q := range []struct {
+		quota int
+		label string
+	}{
+		{5, "quota = 5 packets"},
+		{10, "quota = 10 packets"},
+		{20, "quota = 20 packets"},
+		{100, "quota = 100 packets"},
+		{-1, "quota = infinity"},
+	} {
+		cfg := kernel.Config{Mode: kernel.ModePolled, Quota: q.quota,
+			Screend: screend, Feedback: feedback}
+		out = append(out, sweep(cfg, q.label, o))
+	}
+	return out
+}
+
+// Fig65 reproduces figure 6-5: effect of the packet-count quota without
+// screend.
+func Fig65(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	return Figure{
+		ID:     "6-5",
+		Title:  "Effect of packet-count quota on performance, no screend",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Output packet rate (pkts/sec)",
+		Series: quotaSeries(false, false, o),
+	}
+}
+
+// Fig66 reproduces figure 6-6: effect of the packet-count quota with
+// screend and queue-state feedback.
+func Fig66(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	return Figure{
+		ID:     "6-6",
+		Title:  "Effect of packet-count quota on performance, with screend",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Output packet rate (pkts/sec)",
+		Series: quotaSeries(true, true, o),
+	}
+}
+
+// Fig71 reproduces figure 7-1: CPU time available to a compute-bound
+// user process under input load, for several cycle-limit thresholds.
+func Fig71(o Options) Figure {
+	o = o.withDefaults(defaultUserCPURates)
+	fig := Figure{
+		ID:     "7-1",
+		Title:  "User-mode CPU time available using cycle-limit mechanism",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Available CPU time (per cent)",
+	}
+	for _, th := range []float64{0.25, 0.50, 0.75, 1.00} {
+		cfg := kernel.Config{
+			Mode: kernel.ModePolled, Quota: 5,
+			UserProcess:         true,
+			CycleLimitThreshold: th,
+		}
+		fig.Series = append(fig.Series,
+			sweep(cfg, fmt.Sprintf("threshold %3.0f %%", th*100), o))
+	}
+	return fig
+}
+
+// AllFigures runs every reproduced figure.
+func AllFigures(o Options) []Figure {
+	return []Figure{Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o)}
+}
+
+// ByID returns the runner for a figure id ("6-1", "6-3", ...), or nil.
+func ByID(id string) func(Options) Figure {
+	switch strings.TrimPrefix(id, "fig") {
+	case "6-1", "61":
+		return Fig61
+	case "6-3", "63":
+		return Fig63
+	case "6-4", "64":
+		return Fig64
+	case "6-5", "65":
+		return Fig65
+	case "6-6", "66":
+		return Fig66
+	case "7-1", "71":
+		return Fig71
+	default:
+		return nil
+	}
+}
+
+// userCPUFigure reports whether the figure plots user CPU share rather
+// than output rate.
+func (f Figure) userCPU() bool { return f.ID == "7-1" }
+
+// WriteTable renders the figure as an aligned text table: one row per
+// offered rate, one column per series.
+func (f Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", "input")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " | %-20s", s.Label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 12+23*len(f.Series)))
+	for i := range f.rateAxis() {
+		fmt.Fprintf(w, "%-12.0f", f.rateAxis()[i])
+		for _, s := range f.Series {
+			v := s.Points[i].OutputRate
+			if f.userCPU() {
+				v = s.Points[i].UserPct
+			}
+			fmt.Fprintf(w, " | %-20.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV renders the figure as CSV: input rate then one column per
+// series.
+func (f Figure) WriteCSV(w io.Writer) error {
+	cols := []string{"input_rate"}
+	for _, s := range f.Series {
+		cols = append(cols, strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range f.rateAxis() {
+		row := []string{fmt.Sprintf("%.0f", f.rateAxis()[i])}
+		for _, s := range f.Series {
+			v := s.Points[i].OutputRate
+			if f.userCPU() {
+				v = s.Points[i].UserPct
+			}
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePlot renders the figure as a text scatter plot, echoing the
+// paper's graphs.
+func (f Figure) WritePlot(w io.Writer) error {
+	sc := &plot.Scatter{
+		Title:  fmt.Sprintf("Figure %s: %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+	}
+	if f.userCPU() {
+		sc.YMax = 100
+	}
+	for _, s := range f.Series {
+		pts := make([]plot.Point, 0, len(s.Points))
+		for _, p := range s.Points {
+			v := p.OutputRate
+			if f.userCPU() {
+				v = p.UserPct
+			}
+			pts = append(pts, plot.Point{X: p.InputRate, Y: v})
+		}
+		sc.Add(s.Label, pts)
+	}
+	_, err := io.WriteString(w, sc.Render())
+	return err
+}
+
+// rateAxis returns the input-rate axis (from the first series).
+func (f Figure) rateAxis() []float64 {
+	if len(f.Series) == 0 {
+		return nil
+	}
+	axis := make([]float64, len(f.Series[0].Points))
+	for i, p := range f.Series[0].Points {
+		axis[i] = p.InputRate
+	}
+	return axis
+}

@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"livelock/internal/kernel"
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// MLFRR estimates the Maximum Loss Free Receive Rate (§3) of a
+// configuration by binary search: the highest offered load at which the
+// router forwards at least lossTolerance of the input.
+func MLFRR(cfg kernel.Config, lossTolerance float64, o Options) float64 {
+	o = o.withDefaults(nil)
+	lo, hi := 100.0, float64(14880)
+	for hi-lo > 50 {
+		mid := (lo + hi) / 2
+		cfg.Seed = o.Seed
+		res := kernel.RunTrial(cfg, mid, o.Warmup, o.Measure)
+		if res.OutputRate >= lossTolerance*res.InputRate {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LatencyPoint is one burst-latency measurement.
+type LatencyPoint struct {
+	BurstLen   int
+	FirstPkt   sim.Duration // latency of the first packet of a burst
+	MedianPkt  sim.Duration
+	WorstPkt   sim.Duration
+	OutputRate float64
+}
+
+// BurstLatency measures §4.3's receive-latency-under-burst effect: the
+// first packet of a wire-speed burst is delayed behind link-level
+// processing of the burst in the interrupt-driven kernel, but not in the
+// polled kernel. The minimum observed latency isolates the
+// first-of-burst packet because every burst is identical.
+func BurstLatency(mode kernel.Mode, burstLen int, o Options) LatencyPoint {
+	o = o.withDefaults(nil)
+	eng := sim.NewEngine()
+	cfg := kernel.Config{Mode: mode, Quota: 5, Seed: o.Seed}
+	r := kernel.NewRouter(eng, cfg)
+	on := sim.Duration(burstLen) * sim.PerSecond(14880)
+	burst := &workload.Burst{PeakRate: 14880, On: on, Off: 50 * sim.Millisecond}
+	gen := r.AttachGenerator(0, burst, 0)
+	gen.Start()
+	eng.Run(sim.Time(o.Warmup + o.Measure))
+	lat := r.Sink.Latency
+	return LatencyPoint{
+		BurstLen:   burstLen,
+		FirstPkt:   lat.Min(),
+		MedianPkt:  lat.Quantile(0.5),
+		WorstPkt:   lat.Max(),
+		OutputRate: float64(r.Delivered()) / (o.Warmup + o.Measure).Seconds(),
+	}
+}
+
+// WriteBurstLatencyTable renders the §4.3 latency comparison for
+// several burst lengths.
+func WriteBurstLatencyTable(w io.Writer, o Options) error {
+	if _, err := fmt.Fprintln(w, "Receive latency under bursts (§4.3): first-of-burst packet latency"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-28s %-28s\n", "burst", "unmodified (first/median)", "polled (first/median)")
+	for _, n := range []int{1, 5, 10, 20, 32} {
+		u := BurstLatency(kernel.ModeUnmodified, n, o)
+		p := BurstLatency(kernel.ModePolled, n, o)
+		fmt.Fprintf(w, "%-10d %-12v %-15v %-12v %-15v\n",
+			n, u.FirstPkt, u.MedianPkt, p.FirstPkt, p.MedianPkt)
+	}
+	return nil
+}
+
+// StarvationResult summarizes the §4.4 transmit-starvation demonstration.
+type StarvationResult struct {
+	OutputRate    float64
+	OutQueueDrops uint64
+	WireIdle      bool // transmitter idle while packets queued (starved)
+}
+
+// TransmitStarvation demonstrates §4.4/§6.6: with no quota, the polled
+// kernel's input callback monopolizes the CPU, transmit descriptors are
+// never reclaimed, and the transmitter goes idle while the output queue
+// overflows.
+func TransmitStarvation(o Options) StarvationResult {
+	o = o.withDefaults(nil)
+	eng := sim.NewEngine()
+	cfg := kernel.Config{Mode: kernel.ModePolled, Quota: -1, Seed: o.Seed}
+	r := kernel.NewRouter(eng, cfg)
+	gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 12000, JitterFrac: 0.05}, 0)
+	gen.Start()
+	eng.Run(sim.Time(o.Warmup))
+	before := r.Delivered()
+	eng.RunFor(o.Measure)
+	_, outq, _ := r.QueueStats()
+	return StarvationResult{
+		OutputRate:    float64(r.Delivered()-before) / o.Measure.Seconds(),
+		OutQueueDrops: outq.Drops.Value(),
+		WireIdle:      r.Out.TxDescriptorsFree() == 0,
+	}
+}
+
+// ClockedPoint is one measurement of the §8 "clocked interrupts"
+// (periodic polling) alternative at a fixed poll interval.
+type ClockedPoint struct {
+	Interval sim.Duration
+	// IdleOverheadPct is the CPU spent polling with zero offered load —
+	// "too high [a frequency], and the system spends all its time
+	// polling".
+	IdleOverheadPct float64
+	// LatencyP50 is the median forwarding latency at light load (500
+	// pkts/s) — "too low, and the receive latency soars".
+	LatencyP50 sim.Duration
+	// Throughput is the forwarding rate under a 12,000 pkts/s flood.
+	Throughput float64
+}
+
+// ClockedPollingSweep measures the periodic-polling design across poll
+// intervals, reproducing §8's critique of Traw & Smith's clocked
+// interrupts and motivating the paper's hybrid (interrupt-initiated
+// polling) instead.
+func ClockedPollingSweep(intervals []sim.Duration, o Options) []ClockedPoint {
+	o = o.withDefaults(nil)
+	var out []ClockedPoint
+	for _, iv := range intervals {
+		cfg := kernel.Config{Mode: kernel.ModePolled, Quota: 5,
+			ClockedPollInterval: iv, Seed: o.Seed}
+
+		// Idle overhead: run with no traffic and measure non-idle,
+		// non-clock CPU (the polling tax).
+		eng := sim.NewEngine()
+		r := kernel.NewRouter(eng, cfg)
+		eng.Run(sim.Time(o.Measure))
+		util := r.CPU.Utilization()
+		idleTax := 0.0
+		for cl, frac := range util {
+			if cl.String() == "kernel" {
+				idleTax += frac
+			}
+		}
+
+		lat := kernel.RunTrial(cfg, 500, o.Warmup, o.Measure)
+		thr := kernel.RunTrial(cfg, 12000, o.Warmup, o.Measure)
+		out = append(out, ClockedPoint{
+			Interval:        iv,
+			IdleOverheadPct: idleTax * 100,
+			LatencyP50:      lat.LatencyP50,
+			Throughput:      thr.OutputRate,
+		})
+	}
+	return out
+}
+
+// WriteClockedTable renders the clocked-polling sweep.
+func WriteClockedTable(w io.Writer, o Options) error {
+	if _, err := fmt.Fprintln(w, "Clocked (periodic) polling, §8: interval trade-off"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %16s %18s %18s\n",
+		"interval", "idle poll CPU %", "p50 latency @500", "output @12000")
+	intervals := []sim.Duration{
+		100 * sim.Microsecond, 250 * sim.Microsecond, sim.Millisecond,
+		4 * sim.Millisecond, 16 * sim.Millisecond,
+	}
+	for _, p := range ClockedPollingSweep(intervals, o) {
+		fmt.Fprintf(w, "%-12v %16.2f %18v %18.0f\n",
+			p.Interval, p.IdleOverheadPct, p.LatencyP50, p.Throughput)
+	}
+	// The paper's hybrid for comparison.
+	hybrid := kernel.Config{Mode: kernel.ModePolled, Quota: 5, Seed: o.Seed}
+	lat := kernel.RunTrial(hybrid, 500, o.Warmup, o.Measure)
+	thr := kernel.RunTrial(hybrid, 12000, o.Warmup, o.Measure)
+	fmt.Fprintf(w, "%-12s %16.2f %18v %18.0f\n",
+		"hybrid", 0.0, lat.LatencyP50, thr.OutputRate)
+	return nil
+}
+
+// FairnessResult reports per-input delivered counts for the round-robin
+// fairness property (§5.2: "fairly allocate resources among event
+// sources").
+type FairnessResult struct {
+	PerInput []uint64
+	Total    uint64
+}
+
+// Imbalance returns max/min of the per-input shares (1.0 = perfectly
+// fair).
+func (f FairnessResult) Imbalance() float64 {
+	if len(f.PerInput) == 0 {
+		return 1
+	}
+	min, max := f.PerInput[0], f.PerInput[0]
+	for _, v := range f.PerInput {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == 0 {
+		return float64(max)
+	}
+	return float64(max) / float64(min)
+}
+
+// Fairness floods a router from n input interfaces simultaneously and
+// reports how deliveries divide among them. The polled kernel's
+// round-robin should split capacity nearly evenly; rates are each
+// per-input offered loads.
+func Fairness(mode kernel.Mode, quota int, n int, rate float64, o Options) FairnessResult {
+	o = o.withDefaults(nil)
+	eng := sim.NewEngine()
+	cfg := kernel.Config{Mode: mode, Quota: quota, InputNICs: n, Seed: o.Seed}
+	r := kernel.NewRouter(eng, cfg)
+	for i := 0; i < n; i++ {
+		gen := r.AttachGenerator(i, workload.ConstantRate{Rate: rate, JitterFrac: 0.05}, 0)
+		gen.Start()
+	}
+	// Count deliveries per source by sampling input-NIC accepted counts
+	// net of their ring drops: every packet accepted into a ring is
+	// either processed or still queued, so processed ≈ InPkts - RxLen.
+	eng.Run(sim.Time(o.Warmup + o.Measure))
+	res := FairnessResult{}
+	for i := 0; i < n; i++ {
+		in := r.Ins[i]
+		processed := in.InPkts.Value() - uint64(in.RxLen())
+		res.PerInput = append(res.PerInput, processed)
+		res.Total += processed
+	}
+	return res
+}
+
+// TCPPoint is one measurement of §7.1's unmeasured experiment: TCP bulk
+// goodput into the router host while a UDP flood arrives on another
+// interface.
+type TCPPoint struct {
+	FloodRate   float64
+	GoodputBps  float64 // application bytes/second delivered in order
+	Retransmits uint64
+	Timeouts    uint64
+}
+
+// TCPUnderFlood measures Tahoe bulk-transfer goodput against a
+// competing flood for one kernel mode.
+func TCPUnderFlood(mode kernel.Mode, floodRates []float64, o Options) []TCPPoint {
+	o = o.withDefaults(nil)
+	var out []TCPPoint
+	for _, rate := range floodRates {
+		eng := sim.NewEngine()
+		cfg := kernel.Config{Mode: mode, Quota: 5, InputNICs: 2, Seed: o.Seed}
+		r := kernel.NewRouter(eng, cfg)
+		rx := r.OpenTCPReceiver(8080)
+		snd := r.AttachTCPSender(0, kernel.TCPSenderConfig{Port: 8080, MSS: 512})
+		if rate > 0 {
+			gen := r.AttachGenerator(1, workload.ConstantRate{Rate: rate, JitterFrac: 0.05}, 0)
+			gen.Start()
+		}
+		snd.Start()
+		eng.Run(sim.Time(o.Warmup))
+		startBytes := rx.GoodputBytes
+		eng.RunFor(o.Measure)
+		out = append(out, TCPPoint{
+			FloodRate:   rate,
+			GoodputBps:  float64(rx.GoodputBytes-startBytes) / o.Measure.Seconds(),
+			Retransmits: snd.Retransmits.Value(),
+			Timeouts:    snd.Timeouts.Value(),
+		})
+	}
+	return out
+}
+
+// WriteTCPTable renders the §7.1 experiment for both kernels.
+func WriteTCPTable(w io.Writer, o Options) error {
+	if _, err := fmt.Fprintln(w,
+		"TCP bulk transfer into the router host vs background UDP flood (§7.1):"); err != nil {
+		return err
+	}
+	rates := []float64{0, 4000, 8000, 12000}
+	fmt.Fprintf(w, "%-12s %22s %22s\n", "flood pps", "unmodified goodput", "polled goodput")
+	unmod := TCPUnderFlood(kernel.ModeUnmodified, rates, o)
+	polled := TCPUnderFlood(kernel.ModePolled, rates, o)
+	for i := range rates {
+		fmt.Fprintf(w, "%-12.0f %18.0f B/s %18.0f B/s\n",
+			rates[i], unmod[i].GoodputBps, polled[i].GoodputBps)
+	}
+	return nil
+}

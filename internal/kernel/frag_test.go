@@ -1,0 +1,90 @@
+package kernel
+
+import (
+	"testing"
+
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// fragGen attaches a generator whose datagrams require fragmentation.
+func fragGen(r *Router, dst [4]byte, dstPort uint16, rate float64, payload int) *workload.Generator {
+	cfg := workload.Config{
+		Arrival:      workload.ConstantRate{Rate: rate},
+		SrcMAC:       [6]byte{0xbb, 0, 0, 0, 0, 1},
+		DstMAC:       r.Ins[0].MAC(),
+		SrcIP:        InputSourceIP(0),
+		DstIP:        dst,
+		SrcPort:      5000,
+		DstPort:      dstPort,
+		PayloadBytes: payload,
+	}
+	return workload.NewGenerator(r.Eng, r.RNG, r.SourceWires[0], r.Pool, cfg)
+}
+
+// TestForwardedFragmentsReassembleAtSink: the router forwards fragments
+// independently; the destination host (sink) reassembles them into
+// valid datagrams.
+func TestForwardedFragmentsReassembleAtSink(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		gen := fragGen(r, PhantomDest, 9, 50, 4000) // 3 fragments each
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+		gen.Stop()
+		eng.RunFor(200 * sim.Millisecond)
+
+		if gen.Sent.Value() != 3*gen.Datagrams.Value() {
+			t.Fatalf("%v: %d frames for %d datagrams, want 3×", mode,
+				gen.Sent.Value(), gen.Datagrams.Value())
+		}
+		if r.Sink.Malformed.Value() != 0 {
+			t.Fatalf("%v: %d malformed", mode, r.Sink.Malformed.Value())
+		}
+		if r.Sink.Reassembled.Value() != gen.Datagrams.Value() {
+			t.Fatalf("%v: sink reassembled %d of %d datagrams", mode,
+				r.Sink.Reassembled.Value(), gen.Datagrams.Value())
+		}
+		// Conservation still exact: every fragment frame is delivered.
+		a := r.Account()
+		if a.Delivered != gen.Sent.Value() || a.Dropped() != 0 || a.Alive != 0 {
+			t.Fatalf("%v: accounting %+v vs sent %d", mode, a, gen.Sent.Value())
+		}
+	}
+}
+
+// TestLocalFragmentsReassembleAtRouter: fragments addressed to the
+// router's own UDP server are reassembled in the kernel and delivered
+// as whole datagrams (§5.3's reassembly queue).
+func TestLocalFragmentsReassembleAtRouter(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		app := r.StartApp(AppConfig{
+			Port:     2049,
+			RecvCost: 50 * sim.Microsecond, ProcessCost: 50 * sim.Microsecond,
+		})
+		gen := fragGen(r, RouterIP(0), 2049, 50, 4000)
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+		gen.Stop()
+		eng.RunFor(200 * sim.Millisecond)
+
+		if app.Served.Value() != gen.Datagrams.Value() {
+			t.Fatalf("%v: served %d of %d fragmented datagrams", mode,
+				app.Served.Value(), gen.Datagrams.Value())
+		}
+		a := r.Account()
+		if a.FragsConsumed != gen.Sent.Value() {
+			t.Fatalf("%v: reassembly consumed %d of %d fragments", mode,
+				a.FragsConsumed, gen.Sent.Value())
+		}
+		in := gen.Sent.Value() + a.Originated
+		out := a.Delivered + a.RevDelivered + a.Dropped() + a.AppConsumed +
+			a.FragsConsumed + uint64(a.Alive)
+		if in != out {
+			t.Fatalf("%v: conservation in=%d out=%d %+v", mode, in, out, a)
+		}
+	}
+}

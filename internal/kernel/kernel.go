@@ -1,0 +1,732 @@
+package kernel
+
+import (
+	"fmt"
+
+	"livelock/internal/cpu"
+	"livelock/internal/netstack"
+	"livelock/internal/nic"
+	"livelock/internal/queue"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+	"livelock/internal/workload"
+)
+
+// Topology constants: the router joins net0 (10.0.0.0/24, the source
+// Ethernet) to net1 (10.0.1.0/24, the stub Ethernet where the phantom
+// destination "lives"), exactly the two-Ethernet testbed of §6.1.
+// Additional input interfaces (fairness experiments) get 10.0.{i+1}.0/24.
+// The router owns the .1 address on every attached network.
+var (
+	// PhantomDest is the non-existent destination host; a phantom ARP
+	// entry makes the router forward to it.
+	PhantomDest = netstack.AddrFrom(10, 0, 1, 9)
+	// SourceIP is the packet generator's address (first input net).
+	SourceIP = netstack.AddrFrom(10, 0, 0, 2)
+)
+
+// OutIfIndex is the routing-table interface index of the output (stub)
+// Ethernet; input interfaces use their ordinal (0, 1, ...).
+const OutIfIndex = 100
+
+// inNetPrefix returns the /24 prefix for input network i.
+func inNetPrefix(i int) netstack.Addr {
+	if i == 0 {
+		return netstack.AddrFrom(10, 0, 0, 0)
+	}
+	return netstack.AddrFrom(10, 0, byte(1+i), 0)
+}
+
+// InputSourceIP returns the generator address on input network i.
+func InputSourceIP(i int) netstack.Addr {
+	p := inNetPrefix(i)
+	p[3] = 2
+	return p
+}
+
+// RouterIP returns the router's own address on input network i.
+func RouterIP(i int) netstack.Addr {
+	p := inNetPrefix(i)
+	p[3] = 1
+	return p
+}
+
+// netPort is one attached interface: the NIC, its output ifqueue, its
+// address on that network, and (in interrupt-driven modes) the
+// device-IPL transmit-reclaim task.
+type netPort struct {
+	idx     int
+	nic     *nic.NIC
+	outq    *queue.Queue
+	red     *queue.RED // non-nil when Config.OutputRED; wraps outq
+	localIP netstack.Addr
+	txTask  *cpu.Task
+}
+
+// enqueueOut admits a packet to the port's output queue under the
+// configured drop policy.
+func (p *netPort) enqueueOut(pkt *netstack.Packet) bool {
+	if p.red != nil {
+		return p.red.Enqueue(pkt)
+	}
+	return p.outq.Enqueue(pkt)
+}
+
+// dequeueOut removes the next packet for transmission.
+func (p *netPort) dequeueOut() *netstack.Packet {
+	if p.red != nil {
+		return p.red.Dequeue()
+	}
+	return p.outq.Dequeue()
+}
+
+// Router is the simulated router-under-test plus its instrumentation.
+type Router struct {
+	Eng  *sim.Engine
+	RNG  *sim.RNG
+	CPU  *cpu.CPU
+	Pool *netstack.Pool
+	Cfg  Config
+
+	// Ins are the input interfaces; SourceWires[i] is the Ethernet a
+	// generator transmits onto to reach Ins[i].
+	Ins         []*nic.NIC
+	SourceWires []*nic.Wire
+	// Out is the output interface and Sink the analyzer on the stub
+	// Ethernet.
+	Out  *nic.NIC
+	Sink *nic.Sink
+	// RevSinks observe frames the router transmits back onto the input
+	// Ethernets (ICMP errors, application replies), one per input.
+	RevSinks []*nic.Sink
+
+	fwd        *netstack.Forwarder
+	ports      []*netPort
+	portByIdx  map[int]*netPort
+	localAddrs map[netstack.Addr]*netPort
+	sockets    map[uint16]*Socket
+	tcpPorts   map[uint16]*TCPReceiver
+
+	// Queues (presence depends on mode/screend).
+	ipintrq  *queue.Queue
+	screendq *queue.Queue
+
+	// Sub-systems.
+	unmod   *unmodifiedPath
+	polled  *polledPath
+	screend *screendProc
+	user    *userProc
+	monitor *Monitor
+
+	clockTask *cpu.Task
+	houseTask *cpu.Task
+	ticks     uint64
+	nextOwnID uint64
+
+	// FwdErrors counts packets dropped by the forwarding code itself
+	// (no route, header errors); TTL expiries are counted separately
+	// because they generate ICMP.
+	FwdErrors *stats.Counter
+	// TTLDrops counts forwarded packets dropped for TTL expiry.
+	TTLDrops *stats.Counter
+	// ICMPSent counts router-originated ICMP messages (time-exceeded,
+	// echo replies).
+	ICMPSent *stats.Counter
+	// ICMPFailures counts ICMP messages not sent (no route/ARP/buffer).
+	ICMPFailures *stats.Counter
+	// NoSocketDrops counts locally-addressed UDP packets with no
+	// listening socket.
+	NoSocketDrops *stats.Counter
+	// RouterOriginated counts frames the router itself generated (for
+	// conservation accounting).
+	RouterOriginated *stats.Counter
+	// FragsConsumed counts fragment frames absorbed by the router's
+	// reassembly queue.
+	FragsConsumed *stats.Counter
+
+	reasm *netstack.Reassembler
+}
+
+// NewRouter builds and starts a router. The clock begins ticking
+// immediately; attach generators and run the engine to drive traffic.
+func NewRouter(eng *sim.Engine, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		Eng:              eng,
+		RNG:              sim.NewRNG(cfg.Seed),
+		CPU:              cpu.New(eng),
+		Pool:             netstack.NewPool(cfg.PoolBuffers, netstack.EthMaxFrame),
+		Cfg:              cfg,
+		portByIdx:        make(map[int]*netPort),
+		localAddrs:       make(map[netstack.Addr]*netPort),
+		sockets:          make(map[uint16]*Socket),
+		tcpPorts:         make(map[uint16]*TCPReceiver),
+		FwdErrors:        stats.NewCounter("fwd.errors"),
+		TTLDrops:         stats.NewCounter("fwd.ttl"),
+		ICMPSent:         stats.NewCounter("icmp.sent"),
+		ICMPFailures:     stats.NewCounter("icmp.failures"),
+		NoSocketDrops:    stats.NewCounter("sock.nosocket"),
+		RouterOriginated: stats.NewCounter("router.originated"),
+		FragsConsumed:    stats.NewCounter("router.fragsconsumed"),
+	}
+	clock := func() sim.Time { return eng.Now() }
+
+	// Output interface toward the stub Ethernet.
+	r.Sink = nic.NewSink(eng, "stub")
+	sinkWire := nic.NewWire(eng, r.Sink, cfg.LinkBitRate, 0)
+	outMAC := netstack.MAC{0xaa, 0, 0, 0, 1, 0}
+	r.Out = nic.New(eng, "out0", outMAC, cfg.NIC, sinkWire)
+	outPort := &netPort{
+		idx:     OutIfIndex,
+		nic:     r.Out,
+		localIP: netstack.AddrFrom(10, 0, 1, 1),
+	}
+	r.initOutQueue(outPort, "ifq.out0", clock)
+	r.addPort(outPort)
+
+	// Input interfaces, each with a reverse-direction analyzer so
+	// router-originated traffic (ICMP, application replies) is
+	// observable.
+	for i := 0; i < cfg.InputNICs; i++ {
+		mac := netstack.MAC{0xaa, 0, 0, 0, 0, byte(i + 1)}
+		rev := nic.NewSink(eng, fmt.Sprintf("rev-in%d", i))
+		revWire := nic.NewWire(eng, rev, cfg.LinkBitRate, 0)
+		in := nic.New(eng, fmt.Sprintf("in%d", i), mac, cfg.NIC, revWire)
+		r.Ins = append(r.Ins, in)
+		r.RevSinks = append(r.RevSinks, rev)
+		r.SourceWires = append(r.SourceWires, nic.NewWire(eng, in, cfg.LinkBitRate, 0))
+		port := &netPort{
+			idx:     i,
+			nic:     in,
+			localIP: RouterIP(i),
+		}
+		r.initOutQueue(port, fmt.Sprintf("ifq.in%d", i), clock)
+		r.addPort(port)
+	}
+
+	// Forwarding state: direct routes for every attached network, a
+	// phantom ARP entry for the non-existent destination (§6.1), and
+	// real ARP entries for the source hosts (they would be learned from
+	// their traffic).
+	routes := netstack.NewRoutingTable()
+	arp := netstack.NewARPTable()
+	mustInsert(routes, netstack.Route{Prefix: netstack.AddrFrom(10, 0, 1, 0), Bits: 24, IfIndex: OutIfIndex})
+	for i := range r.Ins {
+		mustInsert(routes, netstack.Route{Prefix: inNetPrefix(i), Bits: 24, IfIndex: i})
+		arp.Insert(InputSourceIP(i), netstack.MAC{0xbb, 0, 0, 0, 0, byte(i + 1)})
+	}
+	arp.InsertPhantom(PhantomDest)
+	r.fwd = netstack.NewForwarder(routes, arp)
+	if cfg.FastPath {
+		r.fwd.Cache = netstack.NewFlowCache(256)
+	}
+	for _, p := range r.ports {
+		r.fwd.IfMAC[p.idx] = p.nic.MAC()
+	}
+
+	if cfg.Screend {
+		r.screendq = queue.New("screendq", cfg.ScreendQLimit, clock)
+	}
+
+	// The kernel architecture.
+	switch cfg.Mode {
+	case ModeUnmodified, ModePolledCompat:
+		r.ipintrq = queue.New("ipintrq", cfg.IPIntrQLimit, clock)
+		r.unmod = newUnmodifiedPath(r)
+	case ModePolled:
+		r.polled = newPolledPath(r)
+	default:
+		panic("kernel: unknown mode")
+	}
+
+	if cfg.Screend {
+		r.screend = newScreendProc(r)
+	}
+	if cfg.UserProcess {
+		r.user = newUserProc(r)
+	}
+
+	// Clock and housekeeping.
+	r.clockTask = r.CPU.NewTask("hardclock", cpu.IPLClock, 0, cpu.ClassClock)
+	r.houseTask = r.CPU.NewTask("housekeeping", cpu.IPLThread, 50, cpu.ClassKernel)
+	r.scheduleTick()
+
+	if cfg.Trace != nil {
+		r.wireTracing()
+	}
+	return r
+}
+
+func (r *Router) addPort(p *netPort) {
+	r.ports = append(r.ports, p)
+	r.portByIdx[p.idx] = p
+	r.localAddrs[p.localIP] = p
+}
+
+// initOutQueue builds the port's output ifqueue under the configured
+// drop policy.
+func (r *Router) initOutQueue(p *netPort, name string, clock func() sim.Time) {
+	if r.Cfg.OutputRED {
+		p.red = queue.NewRED(name, r.Cfg.OutQueueLimit, clock, r.RNG,
+			queue.DefaultREDParams(r.Cfg.OutQueueLimit))
+		p.outq = p.red.Queue
+		return
+	}
+	p.outq = queue.New(name, r.Cfg.OutQueueLimit, clock)
+}
+
+func mustInsert(t *netstack.RoutingTable, route netstack.Route) {
+	if err := t.Insert(route); err != nil {
+		panic(err)
+	}
+}
+
+// ownID mints a packet id for router-originated frames, disjoint from
+// generator ids (high bit set).
+func (r *Router) ownID() uint64 {
+	r.nextOwnID++
+	return r.nextOwnID | 1<<63
+}
+
+// trace emits a lifecycle event when tracing is enabled.
+func (r *Router) trace(event string, p *netstack.Packet) {
+	if r.Cfg.Trace != nil {
+		r.Cfg.Trace.Emit(r.Eng.Now(), event, p.ID)
+	}
+}
+
+// wireTracing attaches trace hooks to the hardware-side observation
+// points (the kernel paths call r.trace directly).
+func (r *Router) wireTracing() {
+	for _, in := range r.Ins {
+		in := in
+		in.OnRxAccept = func(p *netstack.Packet) { r.trace(in.Name()+" rx-ring accept", p) }
+		in.OnRxDrop = func(p *netstack.Packet) { r.trace(in.Name()+" rx-ring DROP (full)", p) }
+	}
+	r.Sink.OnDeliver = func(p *netstack.Packet) { r.trace("delivered on stub Ethernet", p) }
+	for i, rev := range r.RevSinks {
+		name := fmt.Sprintf("delivered on source Ethernet %d", i)
+		rev.OnDeliver = func(p *netstack.Packet) { r.trace(name, p) }
+	}
+}
+
+func (r *Router) scheduleTick() {
+	r.Eng.After(r.Cfg.ClockTick, func() {
+		r.clockTask.Post(r.Cfg.Costs.ClockTickCost, r.onTick)
+		r.scheduleTick()
+	})
+}
+
+// onTick runs in hardclock context.
+func (r *Router) onTick() {
+	r.ticks++
+	if r.Cfg.Costs.HousekeepPerTick > 0 {
+		r.houseTask.Post(r.Cfg.Costs.HousekeepPerTick, nil)
+	}
+	if r.polled != nil {
+		r.polled.onTick(r.ticks)
+	}
+}
+
+// isLocal reports whether frame is addressed to the router itself, by
+// peeking at the IP destination (the cheap dispatch test ip_input does
+// first).
+func (r *Router) isLocal(frame []byte) (*netPort, bool) {
+	if len(frame) < netstack.EthHeaderLen+netstack.IPv4HeaderLen {
+		return nil, false
+	}
+	var dst netstack.Addr
+	copy(dst[:], frame[netstack.EthHeaderLen+16:netstack.EthHeaderLen+20])
+	p, ok := r.localAddrs[dst]
+	return p, ok
+}
+
+// fastPathHit reports whether a frame's destination is in the
+// forwarding cache (a cost-model peek; the real lookup happens during
+// forwarding).
+func (r *Router) fastPathHit(frame []byte) bool {
+	if r.fwd.Cache == nil || len(frame) < netstack.EthHeaderLen+netstack.IPv4HeaderLen {
+		return false
+	}
+	var dst netstack.Addr
+	copy(dst[:], frame[netstack.EthHeaderLen+16:netstack.EthHeaderLen+20])
+	return r.fwd.Cache.Contains(dst)
+}
+
+// forwardFrame runs the real forwarding code on a packet and returns
+// true if it was queued on an output interface. On any failure the
+// packet has been released and counted; TTL expiry additionally
+// generates an ICMP time-exceeded back toward the source (RFC 792).
+func (r *Router) forwardFrame(p *netstack.Packet) bool {
+	ifIdx, err := r.fwd.Forward(p.Data)
+	if err != nil {
+		if err == netstack.ErrTTLExceeded {
+			r.TTLDrops.Inc()
+			r.trace("TTL expired — ICMP time exceeded", p)
+			r.sendICMPError(netstack.ICMPTypeTimeExceeded, 0, p)
+		} else {
+			r.FwdErrors.Inc()
+			r.trace("forward ERROR: "+err.Error(), p)
+		}
+		p.Release()
+		return false
+	}
+	port := r.portByIdx[ifIdx]
+	if port == nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return false
+	}
+	if !port.enqueueOut(p) {
+		r.trace("output ifqueue DROP", p)
+		p.Release()
+		return false
+	}
+	r.trace("forwarded to output ifqueue", p)
+	r.ifStart(port)
+	return true
+}
+
+// sendICMPError originates an ICMP error quoting the offending frame
+// and queues it toward the offender's source. The CPU cost is part of
+// the caller's current work item, as in a real ip_input path.
+func (r *Router) sendICMPError(icmpType, code uint8, offender *netstack.Packet) {
+	origIP, err := netstack.EthPayload(offender.Data)
+	if err != nil {
+		r.ICMPFailures.Inc()
+		return
+	}
+	var ip netstack.IPv4Header
+	if err := ip.Unmarshal(origIP); err != nil {
+		r.ICMPFailures.Inc()
+		return
+	}
+	rt, err := r.fwd.Routes.Lookup(ip.Src)
+	if err != nil {
+		r.ICMPFailures.Inc()
+		return
+	}
+	port := r.portByIdx[rt.IfIndex]
+	dstMAC, ok := r.fwd.ARP.Lookup(ip.Src)
+	if port == nil || !ok {
+		r.ICMPFailures.Inc()
+		return
+	}
+	spec := &netstack.ICMPErrorSpec{
+		Type: icmpType, Code: code,
+		SrcMAC: port.nic.MAC(), DstMAC: dstMAC,
+		SrcIP: port.localIP, DstIP: ip.Src,
+		IPID:     uint16(r.nextOwnID),
+		Original: origIP[:ip.TotalLen],
+	}
+	msg := r.Pool.Get(spec.FrameLen())
+	if msg == nil {
+		r.ICMPFailures.Inc()
+		return
+	}
+	if _, err := netstack.BuildICMPError(msg.Data, spec); err != nil {
+		msg.Release()
+		r.ICMPFailures.Inc()
+		return
+	}
+	msg.ID = r.ownID()
+	msg.Born = r.Eng.Now()
+	r.RouterOriginated.Inc()
+	r.ICMPSent.Inc()
+	if !port.enqueueOut(msg) {
+		msg.Release()
+		return
+	}
+	r.trace("ICMP queued toward source", msg)
+	r.ifStart(port)
+}
+
+// transmitOwn queues a router-originated frame on the port serving dst.
+// Used by the socket layer for application replies.
+func (r *Router) transmitOwn(p *netstack.Packet, dst netstack.Addr) bool {
+	rt, err := r.fwd.Routes.Lookup(dst)
+	if err != nil {
+		p.Release()
+		r.FwdErrors.Inc()
+		return false
+	}
+	port := r.portByIdx[rt.IfIndex]
+	if port == nil {
+		p.Release()
+		r.FwdErrors.Inc()
+		return false
+	}
+	r.RouterOriginated.Inc()
+	if !port.enqueueOut(p) {
+		r.trace("output ifqueue DROP", p)
+		p.Release()
+		return false
+	}
+	r.trace("reply queued", p)
+	r.ifStart(port)
+	return true
+}
+
+// ifStart moves packets from a port's output ifqueue to free transmit
+// descriptors; the CPU cost of this is folded into the caller's
+// per-packet cost.
+func (r *Router) ifStart(port *netPort) {
+	for !port.outq.Empty() && port.nic.TxDescriptorsFree() > 0 {
+		p := port.dequeueOut()
+		r.trace("handed to transmit descriptor", p)
+		if !port.nic.StartTx(p) {
+			// Unreachable: a descriptor was free.
+			panic("kernel: StartTx refused with free descriptor")
+		}
+	}
+}
+
+// deliverLocal is ip_input's local-delivery branch: fragments go to the
+// reassembly queue (§5.3: a packet whose "companion fragments are not
+// yet available" must be queued); ICMP echo requests are answered in
+// place; UDP datagrams go to the listening socket. The caller has
+// already charged the CPU cost.
+func (r *Router) deliverLocal(p *netstack.Packet) {
+	if netstack.IsFragment(p.Data) {
+		r.reassembleLocal(p)
+		return
+	}
+	proto := p.Data[netstack.EthHeaderLen+9]
+	switch proto {
+	case netstack.ProtoICMP:
+		r.handleEcho(p)
+	case netstack.ProtoTCP:
+		r.deliverTCP(p)
+	case netstack.ProtoUDP:
+		var udp netstack.UDPHeader
+		if err := udp.Unmarshal(p.Data[netstack.EthHeaderLen+netstack.IPv4HeaderLen:]); err != nil {
+			r.FwdErrors.Inc()
+			p.Release()
+			return
+		}
+		sock := r.sockets[udp.DstPort]
+		if sock == nil {
+			r.NoSocketDrops.Inc()
+			r.trace("local UDP: no socket — dropped", p)
+			p.Release()
+			return
+		}
+		sock.deliver(p)
+	default:
+		r.FwdErrors.Inc()
+		p.Release()
+	}
+}
+
+// reassembleLocal feeds a locally-addressed fragment to the router's
+// reassembly queue; a completed datagram re-enters local delivery as a
+// synthesized packet (heap-allocated: reassembled datagrams can exceed
+// the wire-frame pool's buffer size).
+func (r *Router) reassembleLocal(p *netstack.Packet) {
+	if r.reasm == nil {
+		r.reasm = netstack.NewReassembler(func() sim.Time { return r.Eng.Now() }, 30*sim.Second)
+	}
+	full, done, err := r.reasm.Submit(p.Data)
+	born := p.Born
+	r.FragsConsumed.Inc()
+	r.trace("fragment to reassembly queue", p)
+	p.Release()
+	if err != nil {
+		r.FwdErrors.Inc()
+		return
+	}
+	if !done {
+		return
+	}
+	whole := &netstack.Packet{Data: full, ID: r.ownID(), Born: born}
+	// The synthesized datagram is router-originated for conservation
+	// purposes: its fragments were consumed above.
+	r.RouterOriginated.Inc()
+	r.trace("datagram reassembled", whole)
+	r.deliverLocal(whole)
+}
+
+// handleEcho turns an ICMP echo request into an echo reply in place and
+// transmits it back toward the requester, as icmp_reflect does.
+func (r *Router) handleEcho(p *netstack.Packet) {
+	var ip netstack.IPv4Header
+	ipb, err := netstack.EthPayload(p.Data)
+	if err != nil || ip.Unmarshal(ipb) != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	rt, err := r.fwd.Routes.Lookup(ip.Src)
+	if err != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	port := r.portByIdx[rt.IfIndex]
+	if port == nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	if err := netstack.MakeEchoReplyInPlace(p.Data, port.nic.MAC()); err != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	r.ICMPSent.Inc()
+	r.RouterOriginated.Inc()
+	r.trace("ICMP echo reply", p)
+	if !port.enqueueOut(p) {
+		p.Release()
+		return
+	}
+	r.ifStart(port)
+}
+
+// AttachGenerator creates a generator offering load to input NIC i with
+// the given arrival process and the standard flood addressing (UDP to
+// the phantom destination beyond the router).
+func (r *Router) AttachGenerator(i int, arrival workload.Arrival, maxPackets uint64) *workload.Generator {
+	return r.AttachGeneratorTo(i, PhantomDest, 9, arrival, maxPackets)
+}
+
+// AttachGeneratorTo creates a generator targeting an arbitrary
+// destination — e.g. the router's own address (RouterIP(i)) and an
+// application port for client/server workloads.
+func (r *Router) AttachGeneratorTo(i int, dst netstack.Addr, dstPort uint16,
+	arrival workload.Arrival, maxPackets uint64) *workload.Generator {
+	in := r.Ins[i]
+	cfg := workload.Config{
+		Arrival:      arrival,
+		SrcMAC:       netstack.MAC{0xbb, 0, 0, 0, 0, byte(i + 1)},
+		DstMAC:       in.MAC(),
+		SrcIP:        InputSourceIP(i),
+		DstIP:        dst,
+		SrcPort:      5000 + uint16(i),
+		DstPort:      dstPort,
+		PayloadBytes: 4,
+		MaxPackets:   maxPackets,
+	}
+	return workload.NewGenerator(r.Eng, r.RNG, r.SourceWires[i], r.Pool, cfg)
+}
+
+// UserCPUTime returns the CPU time consumed by the compute-bound user
+// process, or 0 if none is configured.
+func (r *Router) UserCPUTime() sim.Duration {
+	if r.user == nil {
+		return 0
+	}
+	return r.user.task.Consumed()
+}
+
+// Delivered returns the count of frames transmitted on the output
+// interface (the paper's "Opkts" measurement).
+func (r *Router) Delivered() uint64 { return r.Out.OutPkts.Value() }
+
+// Accounting is a packet-conservation snapshot: every frame put into
+// the system (by generators or by the router itself) is delivered,
+// dropped at a counted point, or still alive in a buffer.
+type Accounting struct {
+	Delivered     uint64 // transmitted on the stub (output) Ethernet
+	RevDelivered  uint64 // transmitted back onto the source Ethernets
+	RingDrops     uint64 // dropped by input NIC hardware (ring full)
+	IPIntrQDrops  uint64 // dropped at ipintrq (unmodified kernels)
+	ScreendDrops  uint64 // dropped at the screend input queue
+	OutQueueDrops uint64 // dropped at output ifqueues
+	FilterDrops   uint64 // rejected by the screend filter
+	SocketDrops   uint64 // dropped at socket buffers or for no socket
+	FwdErrors     uint64 // forwarding failures (route, header)
+	TTLDrops      uint64 // TTL expiries (ICMP generated when possible)
+	Malformed     uint64 // frames a sink failed to validate (must be 0)
+	Originated    uint64 // frames generated by the router (ICMP, replies)
+	AppConsumed   uint64 // datagrams consumed by local applications
+	FragsConsumed uint64 // fragment frames absorbed by reassembly
+	Alive         int    // packets still buffered in rings/queues/wires
+}
+
+// Dropped sums all drop categories.
+func (a Accounting) Dropped() uint64 {
+	return a.RingDrops + a.IPIntrQDrops + a.ScreendDrops + a.OutQueueDrops +
+		a.FilterDrops + a.SocketDrops + a.FwdErrors + a.TTLDrops
+}
+
+// Account returns the conservation snapshot.
+func (r *Router) Account() Accounting {
+	a := Accounting{
+		Delivered:  r.Sink.Delivered.Value(),
+		FwdErrors:  r.FwdErrors.Value(),
+		TTLDrops:   r.TTLDrops.Value(),
+		Malformed:  r.Sink.Malformed.Value(),
+		Originated: r.RouterOriginated.Value(),
+	}
+	for _, rev := range r.RevSinks {
+		a.RevDelivered += rev.Delivered.Value()
+		a.Malformed += rev.Malformed.Value()
+	}
+	for _, in := range r.Ins {
+		a.RingDrops += in.InDiscards.Value()
+	}
+	for _, p := range r.ports {
+		a.OutQueueDrops += p.outq.Drops.Value()
+		if p.red != nil {
+			a.OutQueueDrops += p.red.EarlyDrops.Value()
+		}
+	}
+	if r.ipintrq != nil {
+		a.IPIntrQDrops = r.ipintrq.Drops.Value()
+	}
+	if r.screendq != nil {
+		a.ScreendDrops = r.screendq.Drops.Value()
+	}
+	if r.screend != nil {
+		a.FilterDrops = r.screend.Rejected.Value()
+	}
+	a.FragsConsumed = r.FragsConsumed.Value()
+	a.SocketDrops = r.NoSocketDrops.Value()
+	for _, s := range r.sockets {
+		a.SocketDrops += s.buf.Drops.Value()
+		a.AppConsumed += s.Received.Value() - uint64(s.buf.Len())
+	}
+	a.Alive = r.Pool.Total() - r.Pool.Available()
+	return a
+}
+
+// QueueStats exposes the internal queues for reporting; entries may be
+// nil depending on configuration. outq is the stub-Ethernet ifqueue.
+func (r *Router) QueueStats() (ipintrq, outq, screendq *queue.Queue) {
+	return r.ipintrq, r.portByIdx[OutIfIndex].outq, r.screendq
+}
+
+// InputInhibited reports whether input processing is currently gated off
+// (modified kernel only).
+func (r *Router) InputInhibited() bool {
+	return r.polled != nil && !r.polled.gate.Open()
+}
+
+// PollerStats summarizes the polling thread's activity.
+type PollerStats struct {
+	Wakeups, Rounds, RxSteps, TxSteps  uint64
+	FeedbackInhibits, FeedbackTimeouts uint64
+	CycleInhibits                      uint64
+}
+
+// Poller returns poller statistics, or nil for interrupt-driven modes.
+func (r *Router) Poller() *PollerStats {
+	if r.polled == nil {
+		return nil
+	}
+	s := &PollerStats{
+		Wakeups: r.polled.poller.Wakeups.Value(),
+		Rounds:  r.polled.poller.Rounds.Value(),
+		RxSteps: r.polled.poller.RxSteps.Value(),
+		TxSteps: r.polled.poller.TxSteps.Value(),
+	}
+	if r.polled.feedback != nil {
+		s.FeedbackInhibits = r.polled.feedback.Inhibits.Value()
+		s.FeedbackTimeouts = r.polled.feedback.Timeouts.Value()
+	}
+	if r.polled.limiter != nil {
+		s.CycleInhibits = r.polled.limiter.Inhibits.Value()
+	}
+	return s
+}

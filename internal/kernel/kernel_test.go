@@ -1,0 +1,431 @@
+package kernel
+
+import (
+	"testing"
+
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// trial is the standard short measurement used by these tests.
+func trial(cfg Config, rate float64) TrialResult {
+	return RunTrial(cfg, rate, 500*sim.Millisecond, 2*sim.Second)
+}
+
+func TestLowLoadDeliversEverything(t *testing.T) {
+	configs := map[string]Config{
+		"unmodified":     {Mode: ModeUnmodified},
+		"compat":         {Mode: ModePolledCompat},
+		"polled":         {Mode: ModePolled, Quota: 5},
+		"unmod+screend":  {Mode: ModeUnmodified, Screend: true},
+		"polled+screend": {Mode: ModePolled, Quota: 5, Screend: true, Feedback: true},
+	}
+	for name, cfg := range configs {
+		res := trial(cfg, 1000)
+		if res.OutputRate < 0.99*res.InputRate {
+			t.Errorf("%s: output %.0f < input %.0f at low load", name, res.OutputRate, res.InputRate)
+		}
+		if d := res.Accounting.Dropped(); d != 0 {
+			t.Errorf("%s: %d drops at low load (%+v)", name, d, res.Accounting)
+		}
+		if res.Accounting.Malformed != 0 {
+			t.Errorf("%s: %d malformed frames forwarded", name, res.Accounting.Malformed)
+		}
+	}
+}
+
+func TestUnmodifiedPeakNearPaper(t *testing.T) {
+	// §6.2: "without screend, the router peaked at 4700 packets/sec".
+	best := 0.0
+	for _, rate := range []float64{4000, 4500, 5000} {
+		if r := trial(Config{Mode: ModeUnmodified}, rate); r.OutputRate > best {
+			best = r.OutputRate
+		}
+	}
+	if best < 4200 || best > 5200 {
+		t.Fatalf("unmodified peak = %.0f pps, want ≈4700 (±~10%%)", best)
+	}
+}
+
+func TestUnmodifiedDeclinesPastMLFRR(t *testing.T) {
+	// A system prone to livelock: throughput decreases with offered load
+	// above the MLFRR (§4.2).
+	peak := trial(Config{Mode: ModeUnmodified}, 5000).OutputRate
+	mid := trial(Config{Mode: ModeUnmodified}, 8000).OutputRate
+	high := trial(Config{Mode: ModeUnmodified}, 12000).OutputRate
+	if !(peak > mid && mid > high) {
+		t.Fatalf("throughput not monotonically declining: %.0f, %.0f, %.0f", peak, mid, high)
+	}
+	if high > 0.5*peak {
+		t.Fatalf("decline too shallow: peak %.0f vs %.0f at 12k", peak, high)
+	}
+}
+
+func TestUnmodifiedScreendLivelock(t *testing.T) {
+	// §6.2: with screend, peak ≈2000 pps and complete livelock at
+	// ≈6000 pps.
+	cfg := Config{Mode: ModeUnmodified, Screend: true}
+	peak := trial(cfg, 2000).OutputRate
+	if peak < 1700 || peak > 2300 {
+		t.Fatalf("screend peak = %.0f, want ≈2000", peak)
+	}
+	dead := trial(cfg, 7000).OutputRate
+	if dead > 100 {
+		t.Fatalf("screend at 7000 pps: output %.0f, want livelock (~0)", dead)
+	}
+	// The drops at livelock happen at the screend queue, after kernel
+	// work was invested — the wasted-work signature of §6.3.
+	acct := trial(cfg, 7000).Accounting
+	if acct.ScreendDrops == 0 {
+		t.Fatalf("no wasted-work drops at the screend queue: %+v", acct)
+	}
+}
+
+func TestPolledFlatUnderOverload(t *testing.T) {
+	// Figure 6-3: with a quota, the modified kernel holds its peak
+	// throughput out to the highest input rates.
+	cfg := Config{Mode: ModePolled, Quota: 5}
+	peak := trial(cfg, 5000).OutputRate
+	over := trial(cfg, 12000).OutputRate
+	if over < 0.95*peak {
+		t.Fatalf("polled throughput sagged: %.0f at 12k vs peak %.0f", over, peak)
+	}
+	if peak < 4500 {
+		t.Fatalf("polled peak = %.0f, too low", peak)
+	}
+}
+
+func TestPolledSlightlyImprovesMLFRR(t *testing.T) {
+	// §6.5: "The modified kernel (square marks) slightly improves the
+	// MLFRR, and avoids livelock at higher input rates."
+	unmod := trial(Config{Mode: ModeUnmodified}, 5000).OutputRate
+	polled := trial(Config{Mode: ModePolled, Quota: 5}, 5000).OutputRate
+	if polled <= unmod {
+		t.Fatalf("polled MLFRR %.0f not above unmodified %.0f", polled, unmod)
+	}
+	if polled > 1.25*unmod {
+		t.Fatalf("polled MLFRR %.0f improves unmodified %.0f too much (not 'slight')", polled, unmod)
+	}
+}
+
+func TestCompatSlightlyWorseThanUnmodified(t *testing.T) {
+	// §6.5: the modified kernel configured as if unmodified "seems to
+	// perform slightly worse" than the actual unmodified system.
+	// Compare above both systems' saturation points.
+	unmod := trial(Config{Mode: ModeUnmodified}, 5500).OutputRate
+	compat := trial(Config{Mode: ModePolledCompat}, 5500).OutputRate
+	if compat >= unmod {
+		t.Fatalf("compat %.0f not below unmodified %.0f", compat, unmod)
+	}
+	if compat < 0.85*unmod {
+		t.Fatalf("compat %.0f too far below unmodified %.0f", compat, unmod)
+	}
+}
+
+func TestPolledNoQuotaCollapses(t *testing.T) {
+	// Figure 6-3 (diamonds): without a quota, throughput above the
+	// MLFRR "drops almost to zero", because the input callback never
+	// returns and transmit-buffer descriptors are never released
+	// (§6.6). The drops move to the output queue.
+	cfg := Config{Mode: ModePolled, Quota: -1}
+	res := trial(cfg, 9000)
+	if res.OutputRate > 500 {
+		t.Fatalf("no-quota output at 9000 pps = %.0f, want near zero", res.OutputRate)
+	}
+	if res.Accounting.OutQueueDrops == 0 {
+		t.Fatalf("no output-queue drops; collapse has wrong mechanism: %+v", res.Accounting)
+	}
+}
+
+func TestPolledScreendNoFeedbackPerformsBadly(t *testing.T) {
+	// Figure 6-4 (plain squares): polling without feedback "performs
+	// about as badly as the unmodified kernel" once screend is in the
+	// path.
+	cfg := Config{Mode: ModePolled, Quota: 5, Screend: true}
+	res := trial(cfg, 8000)
+	if res.OutputRate > 300 {
+		t.Fatalf("no-feedback output at 8000 = %.0f, want near-livelock", res.OutputRate)
+	}
+	if res.Accounting.ScreendDrops == 0 {
+		t.Fatalf("expected screend-queue drops: %+v", res.Accounting)
+	}
+}
+
+func TestFeedbackPreventsLivelock(t *testing.T) {
+	// Figure 6-4 (gray squares): with queue-state feedback there is "no
+	// livelock, and much improved peak throughput" relative to the
+	// overloaded alternatives.
+	cfg := Config{Mode: ModePolled, Quota: 10, Screend: true, Feedback: true}
+	peak := trial(cfg, 3000).OutputRate
+	over := trial(cfg, 12000).OutputRate
+	if over < 0.9*peak {
+		t.Fatalf("feedback throughput sagged: %.0f at 12k vs %.0f peak", over, peak)
+	}
+	if over < 1800 {
+		t.Fatalf("feedback sustained rate %.0f too low", over)
+	}
+	// And it beats the unmodified kernel's peak.
+	unmodPeak := trial(Config{Mode: ModeUnmodified, Screend: true}, 2000).OutputRate
+	if over <= unmodPeak {
+		t.Fatalf("feedback sustained %.0f does not beat unmodified peak %.0f", over, unmodPeak)
+	}
+	// Drops now happen at the cheap place: the interface ring.
+	acct := trial(cfg, 12000).Accounting
+	if acct.RingDrops == 0 {
+		t.Fatal("overload drops should land on the NIC ring with feedback")
+	}
+	if acct.ScreendDrops > acct.RingDrops/10 {
+		t.Fatalf("too many expensive screend-queue drops: %+v", acct)
+	}
+}
+
+func TestQuotaSweepOrdering(t *testing.T) {
+	// Figure 6-5: smaller quotas work better under overload without
+	// screend; very large quotas approach the no-quota collapse.
+	out := map[int]float64{}
+	for _, q := range []int{5, 10, 100, -1} {
+		out[q] = trial(Config{Mode: ModePolled, Quota: q}, 10000).OutputRate
+	}
+	if !(out[5] > 0.9*out[10] && out[10] > out[100] && out[100] > out[-1]) {
+		t.Fatalf("quota ordering violated at 10k pps: q5=%.0f q10=%.0f q100=%.0f qInf=%.0f",
+			out[5], out[10], out[100], out[-1])
+	}
+	if out[-1] > 500 {
+		t.Fatalf("quota=∞ did not collapse: %.0f", out[-1])
+	}
+}
+
+func TestQuotaWithFeedbackAllStable(t *testing.T) {
+	// Figure 6-6: with screend and feedback, no quota setting livelocks;
+	// small quotas give up a little peak throughput.
+	rates := map[int]float64{}
+	for _, q := range []int{5, 20, 100, -1} {
+		cfg := Config{Mode: ModePolled, Quota: q, Screend: true, Feedback: true}
+		rates[q] = trial(cfg, 10000).OutputRate
+		if rates[q] < 1700 {
+			t.Errorf("quota %d with feedback: output %.0f, want stable ≈2000", q, rates[q])
+		}
+	}
+	if rates[5] > rates[20]*1.02 {
+		t.Errorf("quota 5 (%.0f) should not beat quota 20 (%.0f) with feedback",
+			rates[5], rates[20])
+	}
+}
+
+func TestUserProcessStarvedWithoutLimiter(t *testing.T) {
+	// §7: flooding the modified router starves a compute-bound process
+	// completely while forwarding continues at full rate.
+	cfg := Config{Mode: ModePolled, Quota: 5, UserProcess: true}
+	res := trial(cfg, 12000)
+	if res.UserCPUFrac > 0.01 {
+		t.Fatalf("user process got %.1f%% CPU under flood, want ~0", res.UserCPUFrac*100)
+	}
+	if res.OutputRate < 4500 {
+		t.Fatalf("forwarding rate %.0f dropped; paper says full rate", res.OutputRate)
+	}
+}
+
+func TestCycleLimiterGuaranteesUserProgress(t *testing.T) {
+	// §7/figure 7-1: with a cycle threshold, the user process keeps
+	// roughly (1 - threshold - overhead) of the CPU even under flood.
+	for _, tc := range []struct {
+		threshold float64
+		minUser   float64
+		maxUser   float64
+	}{
+		{0.25, 0.55, 0.75},
+		{0.50, 0.30, 0.50},
+		{0.75, 0.10, 0.30},
+	} {
+		cfg := Config{Mode: ModePolled, Quota: 5, UserProcess: true,
+			CycleLimitThreshold: tc.threshold}
+		res := trial(cfg, 10000)
+		if res.UserCPUFrac < tc.minUser || res.UserCPUFrac > tc.maxUser {
+			t.Errorf("threshold %.0f%%: user CPU %.1f%%, want in [%.0f%%, %.0f%%]",
+				tc.threshold*100, res.UserCPUFrac*100, tc.minUser*100, tc.maxUser*100)
+		}
+	}
+}
+
+func TestCycleLimiterIdleBaseline(t *testing.T) {
+	// §7: "even with no input load, the user process gets about 94% of
+	// the CPU cycles."
+	cfg := Config{Mode: ModePolled, Quota: 5, UserProcess: true, CycleLimitThreshold: 0.25}
+	res := trial(cfg, 0)
+	if res.UserCPUFrac < 0.92 || res.UserCPUFrac > 0.96 {
+		t.Fatalf("idle user CPU = %.1f%%, want ≈94%%", res.UserCPUFrac*100)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Every generated packet is delivered, dropped at a counted point,
+	// or (after drain) nowhere — buffers all return to the pool.
+	configs := []Config{
+		{Mode: ModeUnmodified},
+		{Mode: ModeUnmodified, Screend: true},
+		{Mode: ModePolled, Quota: 5},
+		{Mode: ModePolled, Quota: -1},
+		{Mode: ModePolled, Quota: 10, Screend: true, Feedback: true},
+		{Mode: ModePolled, Quota: 5, UserProcess: true, CycleLimitThreshold: 0.5},
+	}
+	for i, cfg := range configs {
+		for _, rate := range []float64{800, 6000, 12000} {
+			eng := sim.NewEngine()
+			r := NewRouter(eng, cfg)
+			gen := r.AttachGenerator(0, workload.ConstantRate{Rate: rate, JitterFrac: 0.05}, 0)
+			gen.Start()
+			eng.Run(sim.Time(2 * sim.Second))
+			gen.Stop()
+			eng.RunFor(500 * sim.Millisecond) // drain
+			a := r.Account()
+			sent := gen.Sent.Value()
+			if got := a.Delivered + a.Dropped(); got != sent {
+				t.Errorf("config %d rate %.0f: delivered+dropped = %d, sent = %d (%+v)",
+					i, rate, got, sent, a)
+			}
+			if a.Alive != 0 {
+				t.Errorf("config %d rate %.0f: %d packets leaked (%+v)", i, rate, a.Alive, a)
+			}
+			if a.Malformed != 0 {
+				t.Errorf("config %d rate %.0f: %d malformed", i, rate, a.Malformed)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng := sim.NewEngine()
+		cfg := Config{Mode: ModePolled, Quota: 5, Screend: true, Feedback: true, Seed: 42}
+		r := NewRouter(eng, cfg)
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 7000, JitterFrac: 0.1}, 0)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		return r.Delivered(), eng.Fired()
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if d1 != d2 || e1 != e2 {
+		t.Fatalf("same seed diverged: delivered %d/%d, events %d/%d", d1, d2, e1, e2)
+	}
+}
+
+func TestForwardedFramesAreValid(t *testing.T) {
+	// The sink validates every frame (checksums, TTL decrement).
+	res := trial(Config{Mode: ModePolled, Quota: 5}, 3000)
+	if res.Accounting.Malformed != 0 {
+		t.Fatalf("%d malformed frames", res.Accounting.Malformed)
+	}
+	eng := sim.NewEngine()
+	r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+	gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 100}, 10)
+	gen.Start()
+	eng.Run(sim.Time(sim.Second))
+	if r.Sink.LastTTL != 63 {
+		t.Fatalf("forwarded TTL = %d, want 63 (64 decremented once)", r.Sink.LastTTL)
+	}
+}
+
+func TestLatencyLowAtLowLoad(t *testing.T) {
+	res := trial(Config{Mode: ModePolled, Quota: 5}, 500)
+	if res.LatencyP50 > sim.Millisecond {
+		t.Fatalf("median latency %v at 500 pps, want < 1ms", res.LatencyP50)
+	}
+}
+
+func TestBatchingShiftsLivelockPoint(t *testing.T) {
+	// §4.2: "Batching can shift the livelock point but cannot, by
+	// itself, prevent livelock." Batching only engages once arrivals
+	// outpace the handler, so compare near the livelock point: there,
+	// per-packet interrupt dispatch costs push the unbatched kernel
+	// measurably closer to zero.
+	batched := trial(Config{Mode: ModeUnmodified}, 13500).OutputRate
+	unbatched := trial(Config{Mode: ModeUnmodified, DisableBatching: true}, 13500).OutputRate
+	if unbatched >= 0.8*batched {
+		t.Fatalf("unbatched %.0f not clearly worse than batched %.0f at 13500 pps", unbatched, batched)
+	}
+	// And neither prevents decline: both are below their peaks.
+	peak := trial(Config{Mode: ModeUnmodified}, 5000).OutputRate
+	if batched >= peak {
+		t.Fatalf("batched kernel did not decline: %.0f vs peak %.0f", batched, peak)
+	}
+}
+
+func TestBurstFirstPacketLatency(t *testing.T) {
+	// §4.3: under bursty arrivals the interrupt-driven kernel delays the
+	// first packet of a burst behind link-level processing of the whole
+	// burst; the polled kernel processes it to completion immediately.
+	// The minimum observed latency captures the first-of-burst packet.
+	run := func(mode Mode) sim.Duration {
+		eng := sim.NewEngine()
+		cfg := Config{Mode: mode, Quota: 5}
+		r := NewRouter(eng, cfg)
+		burst := &workload.Burst{PeakRate: 14880, On: 1400 * sim.Microsecond, Off: 48 * sim.Millisecond}
+		gen := r.AttachGenerator(0, burst, 0)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		return r.Sink.Latency.Min()
+	}
+	unmod := run(ModeUnmodified)
+	polled := run(ModePolled)
+	if polled*2 > unmod {
+		t.Fatalf("first-of-burst latency: polled %v not clearly below unmodified %v", polled, unmod)
+	}
+}
+
+func TestRuleCountLowersMLFRR(t *testing.T) {
+	// §5.4: "inefficient code tends to exacerbate receive livelock, by
+	// lowering the MLFRR of the system and hence increasing the
+	// likelihood that livelock will occur." A longer screend rule list
+	// is exactly such inefficiency: peak throughput drops and the
+	// livelock point moves earlier.
+	lean := trial(Config{Mode: ModeUnmodified, Screend: true, ScreendRules: 1}, 2000).OutputRate
+	fat := trial(Config{Mode: ModeUnmodified, Screend: true, ScreendRules: 60}, 2000).OutputRate
+	if fat >= 0.95*lean {
+		t.Fatalf("60-rule screend peak %.0f not clearly below 1-rule %.0f", fat, lean)
+	}
+	// And the fat configuration reaches livelock at a lower input rate.
+	leanAt4500 := trial(Config{Mode: ModeUnmodified, Screend: true, ScreendRules: 1}, 4500).OutputRate
+	fatAt4500 := trial(Config{Mode: ModeUnmodified, Screend: true, ScreendRules: 60}, 4500).OutputRate
+	if fatAt4500 >= leanAt4500 {
+		t.Fatalf("at 4500 pps: 60-rule %.0f not below 1-rule %.0f", fatAt4500, leanAt4500)
+	}
+}
+
+func TestJitterMetricPopulated(t *testing.T) {
+	// §3 lists "reasonable latency and jitter" among the requirements;
+	// the trial harness reports the p90−p10 spread. At low load it is
+	// small; at saturation the latency distribution collapses onto the
+	// standing-queue delay (nearly constant), so jitter is not the
+	// overload discriminator — burst latency (§4.3) is.
+	low := trial(Config{Mode: ModePolled, Quota: 5}, 2000)
+	if low.Jitter <= 0 || low.Jitter > sim.Millisecond {
+		t.Fatalf("low-load jitter = %v, want small positive", low.Jitter)
+	}
+	if low.LatencyP50 > sim.Millisecond {
+		t.Fatalf("low-load p50 = %v", low.LatencyP50)
+	}
+}
+
+func TestFastPathPostponesLivelock(t *testing.T) {
+	// §5.4: "Aggressive optimization, 'fast-path' designs, and removal
+	// of unnecessary steps all help to postpone arrival of livelock."
+	// The flood hits one destination, so the forwarding cache hits on
+	// effectively every packet and both the MLFRR and the overload
+	// throughput improve.
+	slowPeak := trial(Config{Mode: ModeUnmodified}, 6000).OutputRate
+	fastPeak := trial(Config{Mode: ModeUnmodified, FastPath: true}, 6000).OutputRate
+	if fastPeak <= 1.05*slowPeak {
+		t.Fatalf("fast path peak %.0f not clearly above %.0f", fastPeak, slowPeak)
+	}
+	slowOver := trial(Config{Mode: ModeUnmodified}, 11000).OutputRate
+	fastOver := trial(Config{Mode: ModeUnmodified, FastPath: true}, 11000).OutputRate
+	if fastOver <= slowOver {
+		t.Fatalf("fast path did not postpone livelock: %.0f vs %.0f", fastOver, slowOver)
+	}
+	// But it is postponement, not prevention: the fast-path kernel
+	// still declines past its (higher) MLFRR.
+	if fastOver >= fastPeak {
+		t.Fatalf("fast-path kernel did not decline (%.0f vs peak %.0f)", fastOver, fastPeak)
+	}
+}

@@ -1,0 +1,233 @@
+package kernel
+
+import (
+	"testing"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// TestTTLExpiryGeneratesICMP: packets arriving with TTL 1 must be
+// dropped with an ICMP time-exceeded sent back to the source.
+func TestTTLExpiryGeneratesICMP(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		// Hand-build TTL-1 frames and inject them on the source wire.
+		spec := &netstack.FrameSpec{
+			SrcMAC: netstack.MAC{0xbb, 0, 0, 0, 0, 1}, DstMAC: r.Ins[0].MAC(),
+			SrcIP: InputSourceIP(0), DstIP: PhantomDest,
+			SrcPort: 5000, DstPort: 9, TTL: 1,
+			Payload: []byte{1, 2, 3, 4}, UDPChecksum: true,
+		}
+		for i := 0; i < 10; i++ {
+			p := r.Pool.Get(spec.FrameLen())
+			if _, err := netstack.BuildUDPFrame(p.Data, spec); err != nil {
+				t.Fatal(err)
+			}
+			p.ID = uint64(i + 1)
+			p.Born = eng.Now()
+			r.SourceWires[0].Transmit(p)
+		}
+		eng.Run(sim.Time(200 * sim.Millisecond))
+
+		if r.TTLDrops.Value() != 10 {
+			t.Fatalf("%v: TTLDrops = %d, want 10", mode, r.TTLDrops.Value())
+		}
+		if r.ICMPSent.Value() != 10 {
+			t.Fatalf("%v: ICMPSent = %d, want 10", mode, r.ICMPSent.Value())
+		}
+		rev := r.RevSinks[0]
+		if rev.ICMP.Value() != 10 {
+			t.Fatalf("%v: reverse sink saw %d ICMP frames, want 10 (malformed=%d)",
+				mode, rev.ICMP.Value(), rev.Malformed.Value())
+		}
+		if r.Delivered() != 0 {
+			t.Fatalf("%v: expired packets were forwarded", mode)
+		}
+	}
+}
+
+// TestPingRouter: ICMP echo requests addressed to the router itself are
+// answered with valid echo replies.
+func TestPingRouter(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		spec := &netstack.EchoSpec{
+			SrcMAC: netstack.MAC{0xbb, 0, 0, 0, 0, 1}, DstMAC: r.Ins[0].MAC(),
+			SrcIP: InputSourceIP(0), DstIP: RouterIP(0),
+			Ident: 7, Payload: []byte("ping-payload"),
+		}
+		for i := 0; i < 5; i++ {
+			p := r.Pool.Get(spec.FrameLen())
+			spec.Seq = uint16(i)
+			if _, err := netstack.BuildEchoRequest(p.Data, spec); err != nil {
+				t.Fatal(err)
+			}
+			p.ID = uint64(i + 1)
+			p.Born = eng.Now()
+			r.SourceWires[0].Transmit(p)
+		}
+		eng.Run(sim.Time(200 * sim.Millisecond))
+
+		rev := r.RevSinks[0]
+		if rev.ICMP.Value() != 5 {
+			t.Fatalf("%v: got %d echo replies, want 5 (malformed=%d)",
+				mode, rev.ICMP.Value(), rev.Malformed.Value())
+		}
+		if r.ICMPSent.Value() != 5 {
+			t.Fatalf("%v: ICMPSent = %d", mode, r.ICMPSent.Value())
+		}
+	}
+}
+
+// TestUDPServerServesRequests: an RPC-style server on the router
+// receives requests and sends replies back to the client network.
+func TestUDPServerServesRequests(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		app := r.StartApp(AppConfig{
+			Port:        2049,
+			RecvCost:    100 * sim.Microsecond,
+			ProcessCost: 200 * sim.Microsecond,
+			ReplyBytes:  64,
+			ReplyCost:   100 * sim.Microsecond,
+		})
+		gen := r.AttachGeneratorTo(0, RouterIP(0), 2049,
+			workload.ConstantRate{Rate: 500}, 200)
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+
+		if app.Served.Value() != 200 {
+			t.Fatalf("%v: served %d of 200 requests (sock drops %d)",
+				mode, app.Served.Value(), app.Socket().Drops())
+		}
+		if app.Replied.Value() != 200 {
+			t.Fatalf("%v: replied %d", mode, app.Replied.Value())
+		}
+		rev := r.RevSinks[0]
+		if rev.Delivered.Value() != 200 {
+			t.Fatalf("%v: client saw %d replies (malformed=%d)",
+				mode, rev.Delivered.Value(), rev.Malformed.Value())
+		}
+	}
+}
+
+// TestNoSocketCountsDrop: locally-addressed UDP with no listener is
+// counted.
+func TestNoSocketCountsDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+	gen := r.AttachGeneratorTo(0, RouterIP(0), 9999, workload.ConstantRate{Rate: 100}, 20)
+	gen.Start()
+	eng.Run(sim.Time(sim.Second))
+	if r.NoSocketDrops.Value() != 20 {
+		t.Fatalf("NoSocketDrops = %d, want 20", r.NoSocketDrops.Value())
+	}
+}
+
+// TestServerUnderLivelock reproduces the paper's end-system motivation:
+// under a flood aimed at the router's own application, the
+// interrupt-driven kernel starves the server (requests die in the
+// socket/ipintrq queues) while the polled kernel with a cycle limit
+// keeps serving a predictable fraction.
+func TestServerUnderLivelock(t *testing.T) {
+	serve := func(mode Mode, threshold float64) (served float64, replied float64) {
+		eng := sim.NewEngine()
+		cfg := Config{Mode: mode, Quota: 5, CycleLimitThreshold: threshold}
+		r := NewRouter(eng, cfg)
+		app := r.StartApp(AppConfig{
+			Port:        2049,
+			RecvCost:    80 * sim.Microsecond,
+			ProcessCost: 120 * sim.Microsecond,
+			ReplyBytes:  128,
+			ReplyCost:   80 * sim.Microsecond,
+		})
+		gen := r.AttachGeneratorTo(0, RouterIP(0), 2049,
+			workload.ConstantRate{Rate: 12000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		return float64(app.Served.Value()) / 2, float64(app.Replied.Value()) / 2
+	}
+
+	unmodServed, _ := serve(ModeUnmodified, 0)
+	polledServed, polledReplied := serve(ModePolled, 0.5)
+	if unmodServed > 100 {
+		t.Fatalf("unmodified kernel served %.0f req/s under flood, want starvation", unmodServed)
+	}
+	if polledServed < 1000 {
+		t.Fatalf("polled+limit served only %.0f req/s", polledServed)
+	}
+	if polledReplied < 0.95*polledServed {
+		t.Fatalf("replies (%.0f/s) lag serves (%.0f/s): transmit starved", polledReplied, polledServed)
+	}
+}
+
+// TestConservationWithLocalTraffic extends the conservation invariant to
+// router-originated frames: generated + originated = delivered (both
+// directions) + dropped + alive.
+func TestConservationWithLocalTraffic(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		r.StartApp(AppConfig{
+			Port:     2049,
+			RecvCost: 100 * sim.Microsecond, ProcessCost: 100 * sim.Microsecond,
+			ReplyBytes: 32, ReplyCost: 100 * sim.Microsecond,
+		})
+		// Mixed workload: transit flood + requests to the app.
+		flood := r.AttachGenerator(0, workload.ConstantRate{Rate: 6000}, 0)
+		reqs := r.AttachGeneratorTo(0, RouterIP(0), 2049, workload.Poisson{Rate: 900}, 0)
+		flood.Start()
+		reqs.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		flood.Stop()
+		reqs.Stop()
+		eng.RunFor(500 * sim.Millisecond)
+
+		a := r.Account()
+		in := flood.Sent.Value() + reqs.Sent.Value() + a.Originated
+		out := a.Delivered + a.RevDelivered + a.Dropped() + a.AppConsumed + uint64(a.Alive)
+		if in != out {
+			t.Fatalf("%v: conservation: in=%d out=%d %+v", mode, in, out, a)
+		}
+		if a.Malformed != 0 {
+			t.Fatalf("%v: malformed = %d", mode, a.Malformed)
+		}
+	}
+}
+
+// TestSocketFeedbackKeepsServerAlive: applying §6.6.1's queue-state
+// feedback to the socket buffer protects a local server without a cycle
+// limiter — the generalization the paper sketches for "other queues in
+// the system".
+func TestSocketFeedbackKeepsServerAlive(t *testing.T) {
+	run := func(feedback bool) float64 {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+		app := r.StartApp(AppConfig{
+			Port:        2049,
+			RecvCost:    80 * sim.Microsecond,
+			ProcessCost: 120 * sim.Microsecond,
+			ReplyBytes:  128,
+			ReplyCost:   80 * sim.Microsecond,
+			Feedback:    feedback,
+		})
+		gen := r.AttachGeneratorTo(0, RouterIP(0), 2049,
+			workload.ConstantRate{Rate: 12000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		return float64(app.Served.Value()) / 2
+	}
+	without := run(false)
+	with := run(true)
+	if without > 200 {
+		t.Fatalf("server without feedback served %.0f req/s under flood, expected starvation", without)
+	}
+	if with < 1500 {
+		t.Fatalf("server with socket feedback served only %.0f req/s", with)
+	}
+}

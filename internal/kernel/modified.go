@@ -1,0 +1,259 @@
+package kernel
+
+import (
+	"livelock/internal/core"
+	"livelock/internal/cpu"
+	"livelock/internal/queue"
+	"livelock/internal/sim"
+)
+
+// Gate source names.
+const (
+	gateFeedback = "screend-queue-feedback"
+	gateCycles   = "cycle-limit"
+)
+
+// polledPath implements the modified kernel of §6.4: the interrupt
+// handler "does almost no work at all" — it schedules the polling thread
+// and leaves device interrupts masked; the polling thread's callbacks
+// then process received packets to completion (no ipintrq) and reclaim
+// transmit descriptors, round-robin with a per-callback quota, and
+// re-enable interrupts only when no work is pending. Queue-state
+// feedback (§6.6.1) and the CPU cycle limiter (§7) inhibit input through
+// a shared gate.
+type polledPath struct {
+	r       *Router
+	poller  *core.Poller
+	gate    *core.Gate
+	clocked bool // periodic polling, no device interrupts (§8)
+
+	rxTasks  []*cpu.Task
+	feedback *core.Feedback
+	limiter  *core.CycleLimiter
+}
+
+func newPolledPath(r *Router) *polledPath {
+	m := &polledPath{r: r, gate: core.NewGate(), clocked: r.Cfg.ClockedPollInterval > 0}
+	c := r.Cfg.Costs
+
+	m.poller = core.NewPoller(r.Eng, r.CPU, 10, core.PollerConfig{
+		Quota:      r.Cfg.Quota,
+		WakeupCost: c.PollWakeup,
+		RoundCost:  c.PollRound,
+	})
+
+	// Input gating: the poller skips receive callbacks while the gate
+	// is closed; transmit processing is never gated (§7: "the
+	// cycle-limit mechanism inhibits packet input processing but not
+	// output processing").
+	m.poller.SetRxGate(func(*core.Device) bool { return m.gate.Open() })
+
+	// When the gate re-opens, unmask receive interrupts so backlogged
+	// rings immediately re-assert (unless the poller is about to notice
+	// the backlog itself).
+	m.gate.OnChange = func(open bool) {
+		if !open || m.clocked {
+			return
+		}
+		if m.poller.Scheduled() {
+			return
+		}
+		for _, in := range r.Ins {
+			in.RxIntrDone()
+		}
+	}
+
+	if r.Cfg.Feedback && r.Cfg.Screend {
+		m.feedback = core.NewFeedback(r.Eng, m.gate, gateFeedback, r.Cfg.FeedbackTimeout)
+		r.screendq.SetWatermarks(r.Cfg.ScreendQHigh, r.Cfg.ScreendQLow)
+		r.screendq.OnHigh = m.feedback.QueueHigh
+		r.screendq.OnLow = m.feedback.QueueLow
+	}
+
+	if th := r.Cfg.CycleLimitThreshold; th > 0 && th < 1 {
+		m.limiter = core.NewCycleLimiter(m.gate, gateCycles, r.Cfg.CycleLimitPeriod, th)
+		m.poller.SetUsageHook(m.limiter.NoteUsage)
+		r.CPU.OnIdle(m.limiter.OnIdle)
+	}
+
+	// Device registration (§6.4 "at boot time, the modified interface
+	// drivers register themselves with the polling system"). Every port
+	// registers both directions: inputs receive the flood and transmit
+	// router-originated frames (ICMP, replies); the output port only
+	// transmits.
+	for _, port := range r.ports {
+		port := port
+		isInput := port.idx != OutIfIndex
+		var rx core.Step = func() (sim.Duration, func(), bool) { return 0, nil, false }
+		if isInput {
+			rx = m.rxStep(port)
+		}
+		m.poller.Register(&core.Device{
+			Name: port.nic.Name(),
+			Rx:   rx,
+			Tx:   m.txStep(port),
+			EnableInterrupts: func() {
+				// Clocked mode never re-enables interrupts: the next
+				// period's timer finds the work.
+				if m.clocked {
+					return
+				}
+				// Unmask receive only while input is allowed; a closed
+				// gate leaves the interrupt held off so the ring absorbs
+				// (and then cheaply drops) the flood. Transmit
+				// completions are reclaimed lazily by rx-driven polling;
+				// the transmit interrupt is re-enabled only when reclaim
+				// is urgent — packets stranded on the ifqueue, or most
+				// descriptors consumed — following the
+				// avoid-transmit-interrupts practice the paper cites
+				// (§7.1, [6]).
+				if isInput && m.gate.Open() {
+					port.nic.RxIntrDone()
+				}
+				if !port.outq.Empty() || port.nic.TxCompletedLen() > r.Cfg.NIC.TxRing/2 {
+					port.nic.TxIntrDone()
+				}
+			},
+		})
+
+		if isInput {
+			task := r.CPU.NewTask("rxintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+			m.rxTasks = append(m.rxTasks, task)
+			port.nic.SetRxInterrupt(func() {
+				// The whole interrupt handler: dispatch cost, then
+				// schedule the polling thread. The interrupt stays
+				// masked (no RxIntrDone) until the poller re-enables it.
+				task.Post(c.IntrDispatch, m.poller.Schedule)
+			})
+		}
+		txTask := r.CPU.NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		port.nic.SetTxInterrupt(func() {
+			txTask.Post(c.IntrDispatch, m.poller.Schedule)
+		})
+		if m.clocked {
+			port.nic.EnableRxInterrupt(false)
+			port.nic.EnableTxInterrupt(false)
+		}
+	}
+
+	if m.clocked {
+		m.scheduleClockedPoll()
+	}
+	return m
+}
+
+// scheduleClockedPoll drives the pure-polling design: the polling thread
+// is made runnable every ClockedPollInterval regardless of device state.
+func (m *polledPath) scheduleClockedPoll() {
+	m.r.Eng.After(m.r.Cfg.ClockedPollInterval, func() {
+		m.poller.Schedule()
+		m.scheduleClockedPoll()
+	})
+}
+
+// rxStep returns the received-packet callback for an input port: one
+// packet processed to completion per step. "The received-packet callback
+// procedures call the IP input processing routine directly, rather than
+// placing received packets on a queue" (§6.4).
+func (m *polledPath) rxStep(port *netPort) core.Step {
+	c := m.r.Cfg.Costs
+	return func() (sim.Duration, func(), bool) {
+		p := port.nic.TakeRx()
+		if p == nil {
+			return 0, nil, false
+		}
+		m.r.tapMonitor(p)
+		if _, local := m.r.isLocal(p.Data); local {
+			return c.PolledRxLocalPerPkt, func() {
+				m.r.trace("poll rx → local delivery", p)
+				m.r.deliverLocal(p)
+			}, true
+		}
+		if m.r.screend != nil {
+			return c.PolledRxToScreendPerPkt, func() {
+				m.r.trace("poll rx → ip_input → screend queue", p)
+				m.r.screend.submit(p)
+			}, true
+		}
+		cost := c.PolledRxPerPkt
+		if m.r.fastPathHit(p.Data) {
+			cost -= c.FastPathSavings
+		}
+		return cost, func() {
+			m.r.trace("poll rx processed to completion", p)
+			m.r.forwardFrame(p)
+		}, true
+	}
+}
+
+// txStep returns the transmitted-packet callback: reclaim one descriptor
+// and refill the transmitter.
+func (m *polledPath) txStep(port *netPort) core.Step {
+	c := m.r.Cfg.Costs
+	return func() (sim.Duration, func(), bool) {
+		if !port.nic.ReclaimTx() {
+			return 0, nil, false
+		}
+		return c.PolledTxPerPkt, func() {
+			m.r.ifStart(port)
+		}, true
+	}
+}
+
+// attachQueueFeedback applies the §6.6.1 queue-state feedback technique
+// to an arbitrary queue — "the same queue-state feedback technique could
+// be applied to other queues in the system, such as ... packet filter
+// queues". Watermarks are set at 3/4 and 1/4 of capacity; the returned
+// controller inhibits input through the shared gate. progressHook must
+// be called by the queue's consumer (see Feedback.Progress).
+func (m *polledPath) attachQueueFeedback(q *queue.Queue, source string) *core.Feedback {
+	fb := core.NewFeedback(m.r.Eng, m.gate, source, m.r.Cfg.FeedbackTimeout)
+	high := q.Cap() * 3 / 4
+	low := q.Cap() / 4
+	if low < 1 {
+		low = 1
+	}
+	if high <= low {
+		high = low + 1
+	}
+	q.SetWatermarks(high, low)
+	q.OnHigh = fb.QueueHigh
+	q.OnLow = fb.QueueLow
+	return fb
+}
+
+// onTick counts hardclock ticks into cycle-limiter periods.
+func (m *polledPath) onTick(ticks uint64) {
+	if m.limiter == nil {
+		return
+	}
+	period := uint64(m.limiter.Period / m.r.Cfg.ClockTick)
+	if period == 0 {
+		period = 1
+	}
+	if ticks%period == 0 {
+		m.limiter.Tick()
+	}
+}
+
+// notifyScreendQueuePressure re-asserts queue feedback while the screend
+// queue sits at or above its high watermark. This matters after a
+// feedback timeout released the gate with the queue still full: the
+// watermark callback will not re-fire (hysteresis), so the enqueue path
+// re-raises the inhibition.
+func (r *Router) notifyScreendQueuePressure() {
+	if r.polled == nil || r.polled.feedback == nil {
+		return
+	}
+	if r.screendq.AboveHigh() {
+		r.polled.feedback.QueueHigh()
+	}
+}
+
+// notifyScreendProgress re-arms the feedback hang-recovery timer when the
+// screening process handles a packet.
+func (r *Router) notifyScreendProgress() {
+	if r.polled != nil && r.polled.feedback != nil {
+		r.polled.feedback.Progress()
+	}
+}

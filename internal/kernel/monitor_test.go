@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"testing"
+
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+func TestMonitorCapturesAtLowLoad(t *testing.T) {
+	for _, mode := range []Mode{ModeUnmodified, ModePolled} {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: mode, Quota: 5})
+		mon := r.StartMonitor(MonitorConfig{ProcessCost: 50 * sim.Microsecond})
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 1000}, 500)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		if mon.Captured.Value() != 500 || mon.Processed.Value() != 500 {
+			t.Fatalf("%v: captured %d processed %d, want 500/500",
+				mode, mon.Captured.Value(), mon.Processed.Value())
+		}
+		if mon.Dropped.Value() != 0 {
+			t.Fatalf("%v: dropped %d at low load", mode, mon.Dropped.Value())
+		}
+		if mon.Bytes != 500*60 {
+			t.Fatalf("%v: bytes = %d, want %d", mode, mon.Bytes, 500*60)
+		}
+		// Forwarding unaffected.
+		if r.Delivered() != 500 {
+			t.Fatalf("%v: forwarded %d", mode, r.Delivered())
+		}
+	}
+}
+
+func TestMonitorStarvesUnderOverloadWithoutFeedback(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+	mon := r.StartMonitor(MonitorConfig{ProcessCost: 50 * sim.Microsecond})
+	gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 12000, JitterFrac: 0.05}, 0)
+	gen.Start()
+	eng.Run(sim.Time(2 * sim.Second))
+	// The monitor is a user process below the polling thread: under
+	// overload its buffer overflows and most captures are lost.
+	if mon.LossRate() < 0.5 {
+		t.Fatalf("monitor loss rate %.2f under flood, expected starvation", mon.LossRate())
+	}
+	// Forwarding stays at full speed.
+	if float64(r.Delivered())/2 < 4500 {
+		t.Fatalf("forwarding %.0f pps degraded by monitor", float64(r.Delivered())/2)
+	}
+}
+
+func TestMonitorFeedbackTradesThroughputForCoverage(t *testing.T) {
+	// §6.6.1's warning made concrete: feedback on the packet-filter
+	// queue keeps the monitor (nearly) lossless, but inhibiting input
+	// for the monitor's sake throttles forwarding too — the policy
+	// entanglement the paper calls "more complex".
+	run := func(feedback bool) (loss float64, fwd float64) {
+		eng := sim.NewEngine()
+		r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+		mon := r.StartMonitor(MonitorConfig{
+			ProcessCost: 50 * sim.Microsecond,
+			Feedback:    feedback,
+		})
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 12000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(2 * sim.Second))
+		return mon.LossRate(), float64(r.Delivered()) / 2
+	}
+	lossNo, fwdNo := run(false)
+	lossFB, fwdFB := run(true)
+	if lossFB > lossNo/5 {
+		t.Fatalf("feedback loss %.3f not well below no-feedback %.3f", lossFB, lossNo)
+	}
+	if fwdFB >= fwdNo {
+		t.Fatalf("feedback forwarding %.0f should cost throughput vs %.0f", fwdFB, fwdNo)
+	}
+	if fwdFB < 1000 {
+		t.Fatalf("feedback forwarding collapsed to %.0f", fwdFB)
+	}
+}
+
+func TestMonitorDoubleAttachPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRouter(eng, Config{Mode: ModePolled, Quota: 5})
+	r.StartMonitor(MonitorConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second StartMonitor did not panic")
+		}
+	}()
+	r.StartMonitor(MonitorConfig{})
+}

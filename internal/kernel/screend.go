@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// screendProc models the screend firewall process of §6.2: a user-mode
+// program, scheduled at ordinary process priority, that reads one packet
+// per system call from a bounded kernel queue, evaluates its filter
+// rules, and re-injects accepted packets into the IP output path. The
+// experiments configure it to accept all packets; the rule evaluation is
+// still performed for real so its cost scales with the rule count.
+type screendProc struct {
+	r    *Router
+	task *cpu.Task
+
+	rules     []screendRule
+	scheduled bool
+	hung      bool
+
+	// Accepted/Rejected count filter verdicts.
+	Accepted *stats.Counter
+	Rejected *stats.Counter
+}
+
+// screendRule is one access-control entry: packets matching the
+// (prefix, port) pair are given the rule's verdict.
+type screendRule struct {
+	prefix netstack.Addr
+	bits   int
+	port   uint16 // 0 matches any port
+	allow  bool
+}
+
+func newScreendProc(r *Router) *screendProc {
+	s := &screendProc{
+		r:        r,
+		Accepted: stats.NewCounter("screend.accepted"),
+		Rejected: stats.NewCounter("screend.rejected"),
+	}
+	// Ordinary user-process priority: above the compute-bound spinner,
+	// below kernel threads — and, in the unmodified kernel, below every
+	// interrupt, which is the whole problem.
+	s.task = r.CPU.NewTask("screend", cpu.IPLThread, 5, cpu.ClassUser)
+
+	// Build the configured number of no-op deny rules followed by a
+	// final allow-all, so every packet traverses the whole list (the
+	// paper's trials "configured screend to accept all packets").
+	n := r.Cfg.ScreendRules
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n-1; i++ {
+		s.rules = append(s.rules, screendRule{
+			prefix: netstack.AddrFrom(192, 0, byte(i>>8), byte(i)),
+			bits:   32,
+			allow:  false,
+		})
+	}
+	s.rules = append(s.rules, screendRule{bits: 0, allow: true})
+	return s
+}
+
+// submit hands a packet from the IP layer to the screening queue. Called
+// from kernel context (softint or polling thread); the enqueue cost is
+// part of the caller's per-packet work. Watermark callbacks on the queue
+// drive feedback in the modified kernel.
+func (s *screendProc) submit(p *netstack.Packet) {
+	if !s.r.screendq.Enqueue(p) {
+		s.r.trace("screend queue DROP (full)", p)
+		p.Release()
+		// Even when the enqueue fails the queue remains above its high
+		// watermark; the modified kernel re-asserts feedback here in
+		// case a timeout re-enabled input while the queue was full.
+		s.r.notifyScreendQueuePressure()
+		s.wakeup()
+		return
+	}
+	s.r.notifyScreendQueuePressure()
+	s.wakeup()
+}
+
+// HangScreend simulates a wedged screening process (§6.6.1's failure
+// case: "in case the screend program is hung"): it stops consuming its
+// queue until ResumeScreend. No-op without screend.
+func (r *Router) HangScreend() {
+	if r.screend != nil {
+		r.screend.hung = true
+	}
+}
+
+// ResumeScreend un-wedges the screening process.
+func (r *Router) ResumeScreend() {
+	if r.screend == nil {
+		return
+	}
+	r.screend.hung = false
+	if !r.screendq.Empty() {
+		r.screend.wakeup()
+	}
+}
+
+// wakeup makes the process runnable if it is sleeping in select().
+func (s *screendProc) wakeup() {
+	if s.scheduled || s.hung {
+		return
+	}
+	s.scheduled = true
+	s.task.Post(s.r.Cfg.Costs.ScreendWakeup, s.loop)
+}
+
+// loop processes one packet per iteration: recv syscall, filter
+// evaluation, and (if accepted) the send syscall whose kernel half runs
+// ip_output and starts transmission.
+func (s *screendProc) loop() {
+	if s.hung || s.r.screendq.Empty() {
+		s.scheduled = false
+		return
+	}
+	c := s.r.Cfg.Costs
+	perPkt := c.ScreendRecvPerPkt + c.ScreendFilterPerPkt +
+		sim.Duration(len(s.rules))*c.ScreendRuleCost
+	s.task.Post(perPkt, func() {
+		p := s.r.screendq.Dequeue()
+		if p == nil {
+			s.scheduled = false
+			return
+		}
+		s.r.notifyScreendProgress()
+		if s.verdict(p) {
+			s.Accepted.Inc()
+			s.r.trace("screend accept", p)
+			// The send syscall re-injects the packet; its kernel half
+			// (ip_output, ifqueue enqueue, transmit start) is charged
+			// here, in process context, as in the real system.
+			s.task.Post(c.ScreendSendPerPkt, func() {
+				s.r.forwardFrame(p)
+				s.loop()
+			})
+			return
+		}
+		s.Rejected.Inc()
+		s.r.trace("screend REJECT", p)
+		p.Release()
+		s.loop()
+	})
+}
+
+// verdict evaluates the rule list against the packet's real headers.
+func (s *screendProc) verdict(p *netstack.Packet) bool {
+	_, ip, udp, _, err := netstack.ParseUDPFrame(p.Data)
+	if err != nil {
+		return false
+	}
+	for _, rule := range s.rules {
+		if !netstack.MatchPrefix(rule.prefix, rule.bits, ip.Dst) {
+			continue
+		}
+		if rule.port != 0 && rule.port != udp.DstPort {
+			continue
+		}
+		return rule.allow
+	}
+	return false
+}

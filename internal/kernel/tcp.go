@@ -1,0 +1,418 @@
+package kernel
+
+import (
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// This file implements the experiment §7.1 raises but could not run:
+// end-system transport performance under the two kernel architectures.
+// A Tahoe-style TCP bulk sender on a source host streams data to an
+// in-kernel receiver on the router (received segments are processed
+// "directly from the device driver to the TCP layer", the Van Jacobson
+// structure §7.1 cites); ACKs flow back over the source Ethernet and
+// clock the sender. Slow start, congestion avoidance, fast retransmit
+// and RTO with exponential backoff are implemented for real, so losses
+// inflicted by receive overload translate into the transport dynamics a
+// real end system would see.
+
+// TCPReceiver is the router-resident receive half: cumulative ACKs, an
+// out-of-order buffer, and goodput accounting.
+type TCPReceiver struct {
+	r    *Router
+	port uint16
+
+	rcvNxt uint64
+	ooo    map[uint64]int // seq → payload length
+	oooCap int
+
+	// GoodputBytes counts in-order bytes delivered to the application.
+	GoodputBytes uint64
+	// Segments, OutOfOrder and Duplicates count arrivals by kind;
+	// OOODrops counts segments discarded because the reorder buffer was
+	// full.
+	Segments   *stats.Counter
+	OutOfOrder *stats.Counter
+	Duplicates *stats.Counter
+	OOODrops   *stats.Counter
+	AcksSent   *stats.Counter
+}
+
+// OpenTCPReceiver binds a TCP port on the router for a one-way bulk
+// transfer. It panics if the port is already bound.
+func (r *Router) OpenTCPReceiver(port uint16) *TCPReceiver {
+	if _, dup := r.tcpPorts[port]; dup {
+		panic("kernel: TCP port already bound")
+	}
+	rx := &TCPReceiver{
+		r: r, port: port,
+		ooo: make(map[uint64]int), oooCap: 64,
+		Segments:   stats.NewCounter("tcp.segments"),
+		OutOfOrder: stats.NewCounter("tcp.ooo"),
+		Duplicates: stats.NewCounter("tcp.dup"),
+		OOODrops:   stats.NewCounter("tcp.ooodrops"),
+		AcksSent:   stats.NewCounter("tcp.acks"),
+	}
+	r.tcpPorts[port] = rx
+	return rx
+}
+
+// deliverTCP is ip_input's TCP branch; the caller charged the CPU cost.
+func (r *Router) deliverTCP(p *netstack.Packet) {
+	var th netstack.TCPHeader
+	ipb, err := netstack.EthPayload(p.Data)
+	if err != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	var ip netstack.IPv4Header
+	if uerr := ip.Unmarshal(ipb); uerr != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	seg := ipb[netstack.IPv4HeaderLen:ip.TotalLen]
+	if !netstack.VerifyTCPChecksum(ip.Src, ip.Dst, seg) || th.Unmarshal(seg) != nil {
+		r.FwdErrors.Inc()
+		p.Release()
+		return
+	}
+	rx := r.tcpPorts[th.DstPort]
+	if rx == nil {
+		r.NoSocketDrops.Inc()
+		p.Release()
+		return
+	}
+	rx.segment(ip, th, len(seg)-netstack.TCPHeaderLen)
+	p.Release()
+}
+
+// segment processes one data segment and emits a cumulative ACK, as
+// 4.3BSD's tcp_input does (no delayed ACKs: every segment is ACKed,
+// which is also what keeps the sender's clock running).
+func (rx *TCPReceiver) segment(ip netstack.IPv4Header, th netstack.TCPHeader, payloadLen int) {
+	rx.Segments.Inc()
+	seq := uint64(th.Seq)
+	switch {
+	case payloadLen == 0:
+		// Bare control segment; just re-ACK.
+	case seq == rx.rcvNxt:
+		rx.rcvNxt += uint64(payloadLen)
+		rx.GoodputBytes += uint64(payloadLen)
+		// Drain any contiguous out-of-order segments.
+		for {
+			n, ok := rx.ooo[rx.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(rx.ooo, rx.rcvNxt)
+			rx.rcvNxt += uint64(n)
+			rx.GoodputBytes += uint64(n)
+		}
+	case seq > rx.rcvNxt:
+		rx.OutOfOrder.Inc()
+		if len(rx.ooo) >= rx.oooCap {
+			rx.OOODrops.Inc()
+		} else {
+			rx.ooo[seq] = payloadLen
+		}
+	default:
+		rx.Duplicates.Inc()
+	}
+	rx.sendAck(ip, th)
+}
+
+// sendAck emits the cumulative ACK toward the sender via the normal
+// output path (so ACKs compete for descriptors and queue space like any
+// other transmission).
+func (rx *TCPReceiver) sendAck(ip netstack.IPv4Header, th netstack.TCPHeader) {
+	r := rx.r
+	spec := netstack.TCPSpec{
+		SrcIP: ip.Dst, DstIP: ip.Src,
+		SrcPort: th.DstPort, DstPort: th.SrcPort,
+		Seq: 0, Ack: uint32(rx.rcvNxt), Flags: netstack.TCPAck,
+		Window: 0xffff,
+		IPID:   uint16(r.nextOwnID),
+	}
+	// Link addressing is filled by transmitOwn's route/ARP machinery;
+	// build with the MACs resolved the same way replies are.
+	rt, err := r.fwd.Routes.Lookup(ip.Src)
+	if err != nil {
+		return
+	}
+	port := r.portByIdx[rt.IfIndex]
+	dstMAC, ok := r.fwd.ARP.Lookup(ip.Src)
+	if port == nil || !ok {
+		return
+	}
+	spec.SrcMAC = port.nic.MAC()
+	spec.DstMAC = dstMAC
+	p := r.Pool.Get(spec.FrameLen())
+	if p == nil {
+		return
+	}
+	if _, err := netstack.BuildTCPFrame(p.Data, &spec); err != nil {
+		panic(err)
+	}
+	p.ID = r.ownID()
+	p.Born = r.Eng.Now()
+	if r.transmitOwn(p, ip.Src) {
+		rx.AcksSent.Inc()
+	}
+}
+
+// TCPSenderConfig describes a bulk transfer.
+type TCPSenderConfig struct {
+	// Port is the receiver's TCP port on the router.
+	Port uint16
+	// MSS is the segment payload size (default 512 bytes).
+	MSS int
+	// TotalBytes ends the transfer when acknowledged (0 = unlimited).
+	TotalBytes uint64
+	// RTO is the (fixed-base) retransmission timeout (default 200 ms).
+	RTO sim.Duration
+	// MaxCwnd caps the congestion window, standing in for the
+	// receiver's advertised window (default 64 segments).
+	MaxCwnd int
+	// Reno enables Reno-style fast recovery: on a fast retransmit only
+	// the missing segment is resent and the window halves (instead of
+	// Tahoe's collapse to one segment and go-back-N). RTO behaviour is
+	// unchanged.
+	Reno bool
+}
+
+// TCPSender is a Tahoe-style bulk sender on a source host: slow start,
+// congestion avoidance, fast retransmit after 3 duplicate ACKs, and RTO
+// with exponential backoff — all reset to cwnd=1 on loss, as Tahoe does.
+type TCPSender struct {
+	r     *Router
+	input int
+	cfg   TCPSenderConfig
+
+	una, nxt uint64
+	cwnd     float64 // in segments
+	ssthresh float64
+	dupacks  int
+	backoff  sim.Duration
+	timer    *sim.Event
+	ipid     uint16
+
+	// Done is set when TotalBytes are acknowledged; FinishedAt records
+	// when.
+	Done       bool
+	FinishedAt sim.Time
+
+	// SegmentsSent counts transmissions (including retransmissions);
+	// Retransmits and Timeouts count loss-recovery events.
+	SegmentsSent *stats.Counter
+	Retransmits  *stats.Counter
+	Timeouts     *stats.Counter
+}
+
+// AttachTCPSender binds a sender to input network i, consuming ACKs
+// from that network's reverse sink.
+func (r *Router) AttachTCPSender(i int, cfg TCPSenderConfig) *TCPSender {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 512
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 200 * sim.Millisecond
+	}
+	if cfg.MaxCwnd <= 0 {
+		cfg.MaxCwnd = 64
+	}
+	s := &TCPSender{
+		r: r, input: i, cfg: cfg,
+		cwnd: 1, ssthresh: float64(cfg.MaxCwnd), backoff: cfg.RTO,
+		SegmentsSent: stats.NewCounter("tcpsnd.segments"),
+		Retransmits:  stats.NewCounter("tcpsnd.retransmits"),
+		Timeouts:     stats.NewCounter("tcpsnd.timeouts"),
+	}
+	rev := r.RevSinks[i]
+	prev := rev.OnDeliver
+	rev.OnDeliver = func(p *netstack.Packet) {
+		if prev != nil {
+			prev(p)
+		}
+		s.onFrame(p)
+	}
+	return s
+}
+
+// Start begins the transfer (slow start from cwnd = 1).
+func (s *TCPSender) Start() { s.trySend() }
+
+// AckedBytes returns the acknowledged byte count.
+func (s *TCPSender) AckedBytes() uint64 { return s.una }
+
+// Cwnd returns the current congestion window in segments.
+func (s *TCPSender) Cwnd() float64 { return s.cwnd }
+
+func (s *TCPSender) windowLimit() uint64 {
+	w := s.cwnd
+	if w > float64(s.cfg.MaxCwnd) {
+		w = float64(s.cfg.MaxCwnd)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return s.una + uint64(w)*uint64(s.cfg.MSS)
+}
+
+func (s *TCPSender) trySend() {
+	if s.Done {
+		return
+	}
+	limit := s.windowLimit()
+	if s.cfg.TotalBytes > 0 && limit > s.cfg.TotalBytes {
+		limit = s.cfg.TotalBytes
+	}
+	for s.nxt < limit {
+		n := uint64(s.cfg.MSS)
+		if s.nxt+n > limit {
+			n = limit - s.nxt
+		}
+		if !s.sendSegment(s.nxt, int(n)) {
+			break // pool pressure; the RTO recovers
+		}
+		s.nxt += n
+	}
+	s.armTimer()
+}
+
+func (s *TCPSender) sendSegment(seq uint64, n int) bool {
+	spec := netstack.TCPSpec{
+		SrcMAC: netstack.MAC{0xbb, 0, 0, 0, 0, byte(s.input + 1)},
+		DstMAC: s.r.Ins[s.input].MAC(),
+		SrcIP:  InputSourceIP(s.input), DstIP: RouterIP(s.input),
+		SrcPort: 7000, DstPort: s.cfg.Port,
+		Seq: uint32(seq), Flags: netstack.TCPAck | netstack.TCPPsh,
+		Window: 0xffff, IPID: s.ipid,
+		Payload: make([]byte, n),
+	}
+	s.ipid++
+	p := s.r.Pool.Get(spec.FrameLen())
+	if p == nil {
+		return false
+	}
+	if _, err := netstack.BuildTCPFrame(p.Data, &spec); err != nil {
+		panic(err)
+	}
+	p.ID = s.r.ownID()
+	p.Born = s.r.Eng.Now()
+	s.r.SourceWires[s.input].Transmit(p)
+	s.SegmentsSent.Inc()
+	return true
+}
+
+func (s *TCPSender) armTimer() {
+	if s.timer != nil && s.timer.Pending() {
+		return
+	}
+	if s.una >= s.nxt {
+		return // nothing outstanding
+	}
+	s.timer = s.r.Eng.After(s.backoff, s.onRTO)
+}
+
+// onFrame filters reverse-wire traffic for our ACKs.
+func (s *TCPSender) onFrame(p *netstack.Packet) {
+	if len(p.Data) < netstack.EthHeaderLen+netstack.IPv4HeaderLen+netstack.TCPHeaderLen {
+		return
+	}
+	if p.Data[netstack.EthHeaderLen+9] != netstack.ProtoTCP {
+		return
+	}
+	var th netstack.TCPHeader
+	if err := th.Unmarshal(p.Data[netstack.EthHeaderLen+netstack.IPv4HeaderLen:]); err != nil {
+		return
+	}
+	if th.DstPort != 7000 || th.Flags&netstack.TCPAck == 0 {
+		return
+	}
+	s.onAck(uint64(th.Ack))
+}
+
+func (s *TCPSender) onAck(ack uint64) {
+	if s.Done {
+		return
+	}
+	switch {
+	case ack > s.una:
+		s.una = ack
+		s.dupacks = 0
+		s.backoff = s.cfg.RTO
+		// Tahoe window growth: slow start below ssthresh, else
+		// congestion avoidance (+1/cwnd per ACK).
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+		s.r.Eng.Cancel(s.timer)
+		s.timer = nil
+		if s.cfg.TotalBytes > 0 && s.una >= s.cfg.TotalBytes {
+			s.Done = true
+			s.FinishedAt = s.r.Eng.Now()
+			return
+		}
+		s.trySend()
+	case ack == s.una:
+		s.dupacks++
+		if s.dupacks == 3 {
+			s.Retransmits.Inc()
+			if s.cfg.Reno {
+				s.fastRecover()
+			} else {
+				// Tahoe: collapse the window and resend from the hole.
+				s.loss()
+			}
+		}
+	}
+}
+
+// fastRecover implements Reno's reaction to three duplicate ACKs:
+// retransmit only the missing segment and halve the window.
+func (s *TCPSender) fastRecover() {
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = s.ssthresh
+	s.dupacks = 0
+	n := uint64(s.cfg.MSS)
+	if s.cfg.TotalBytes > 0 && s.una+n > s.cfg.TotalBytes {
+		n = s.cfg.TotalBytes - s.una
+	}
+	s.sendSegment(s.una, int(n))
+	s.armTimer()
+}
+
+// loss implements Tahoe's reaction to any loss signal.
+func (s *TCPSender) loss() {
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.dupacks = 0
+	s.nxt = s.una // go-back-N from the hole
+	s.r.Eng.Cancel(s.timer)
+	s.timer = nil
+	s.trySend()
+}
+
+func (s *TCPSender) onRTO() {
+	s.timer = nil
+	if s.Done || s.una >= s.nxt {
+		return
+	}
+	s.Timeouts.Inc()
+	s.backoff *= 2
+	if s.backoff > 10*sim.Second {
+		s.backoff = 10 * sim.Second
+	}
+	s.loss()
+}

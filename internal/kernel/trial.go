@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+	"livelock/internal/workload"
+)
+
+// TrialResult summarizes one measurement trial at a fixed offered load.
+type TrialResult struct {
+	// InputRate is the measured offered load (frames that actually
+	// reached the input wire per second).
+	InputRate float64
+	// OutputRate is the measured forwarding rate (frames transmitted on
+	// the output interface per second) — the paper's y-axis.
+	OutputRate float64
+	// UserCPUFrac is the fraction of CPU time obtained by the
+	// compute-bound user process during the measurement window (§7).
+	UserCPUFrac float64
+	// LatencyP50/P99 are forwarding-latency quantiles over delivered
+	// packets (whole trial, not just the window).
+	LatencyP50, LatencyP99 sim.Duration
+	// Jitter is the p90−p10 latency spread (§3 lists "reasonable
+	// latency and jitter" among the scheduling requirements).
+	Jitter sim.Duration
+	// Accounting is the end-of-trial conservation snapshot.
+	Accounting Accounting
+}
+
+// RunTrial builds a router with cfg, offers load at rate pkts/s for the
+// given duration (after a warmup), and returns measured rates. The
+// measurement window excludes warmup so queue-fill transients do not
+// bias the averages, mirroring the paper's before/after netstat
+// sampling.
+func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResult {
+	eng := sim.NewEngine()
+	r := NewRouter(eng, cfg)
+	gen := r.AttachGenerator(0, workload.ConstantRate{Rate: rate, JitterFrac: 0.05}, 0)
+	gen.Start()
+
+	eng.Run(sim.Time(warmup))
+
+	inMeter := stats.NewRateMeter(gen.Sent, eng.Now())
+	outMeter := stats.NewRateMeter(r.Out.OutPkts, eng.Now())
+	userBefore := r.UserCPUTime()
+
+	eng.RunFor(measure)
+
+	res := TrialResult{
+		InputRate:  inMeter.Sample(eng.Now()),
+		OutputRate: outMeter.Sample(eng.Now()),
+		LatencyP50: r.Sink.Latency.Quantile(0.50),
+		LatencyP99: r.Sink.Latency.Quantile(0.99),
+		Jitter:     r.Sink.Latency.Quantile(0.90) - r.Sink.Latency.Quantile(0.10),
+	}
+	if cfg.UserProcess {
+		res.UserCPUFrac = float64(r.UserCPUTime()-userBefore) / float64(measure)
+	}
+
+	// Stop the source and let the system drain so the conservation
+	// snapshot reflects a quiesced router.
+	gen.Stop()
+	eng.RunFor(200 * sim.Millisecond)
+	res.Accounting = r.Account()
+	return res
+}

@@ -1,0 +1,163 @@
+package kernel
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/netstack"
+	"livelock/internal/nic"
+	"livelock/internal/sim"
+)
+
+// unmodifiedPath implements the 4.2BSD-derived structure of figure 6-2:
+//
+//	receive interrupt (IPL device)   → ipintrq →
+//	software interrupt (IPL softnet) → IP forwarding → output ifqueue →
+//	transmit start / transmit-complete interrupt (IPL device)
+//
+// Every stage has strictly higher priority than the one after it, which
+// is why, under input overload, packets are dropped *after* the system
+// has already invested device-level work in them (§6.3) — the defining
+// waste of receive livelock.
+type unmodifiedPath struct {
+	r *Router
+
+	rxTasks []*cpu.Task // one per input NIC, device IPL
+	softint *cpu.Task   // the netisr, softint IPL
+
+	softintScheduled bool
+}
+
+func newUnmodifiedPath(r *Router) *unmodifiedPath {
+	u := &unmodifiedPath{r: r}
+	u.softint = r.CPU.NewTask("netisr", cpu.IPLSoft, 0, cpu.ClassSoft)
+
+	for _, in := range r.Ins {
+		in := in
+		task := r.CPU.NewTask("rxintr."+in.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		u.rxTasks = append(u.rxTasks, task)
+		// The hardware interrupt: pay the dispatch cost, then start the
+		// batched per-packet loop.
+		in.SetRxInterrupt(func() {
+			task.Post(u.r.Cfg.Costs.IntrDispatch, func() { u.rxLoop(in, task) })
+		})
+	}
+
+	// Every port that can transmit gets a device-IPL transmit-complete
+	// handler.
+	for _, port := range r.ports {
+		port := port
+		port.txTask = r.CPU.NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		port.nic.SetTxInterrupt(func() {
+			port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoop(port) })
+		})
+	}
+	return u
+}
+
+// rxPktCost returns the device-IPL per-packet cost, with the compat
+// penalty in ModePolledCompat.
+func (u *unmodifiedPath) rxPktCost() sim.Duration {
+	c := u.r.Cfg.Costs.RxDevicePerPkt
+	if u.r.Cfg.Mode == ModePolledCompat {
+		c += u.r.Cfg.Costs.CompatPenalty
+	}
+	return c
+}
+
+func (u *unmodifiedPath) fwdPktCost() sim.Duration {
+	c := u.r.Cfg.Costs.IPForwardPerPkt
+	if u.r.Cfg.Mode == ModePolledCompat {
+		c += u.r.Cfg.Costs.CompatPenalty
+	}
+	return c
+}
+
+// rxLoop processes one packet per work item at device IPL, continuing
+// while the ring is non-empty (interrupt batching: the dispatch cost was
+// paid once, by the interrupt that started the loop).
+func (u *unmodifiedPath) rxLoop(in *nic.NIC, task *cpu.Task) {
+	p := in.TakeRx()
+	if p == nil {
+		in.RxIntrDone()
+		return
+	}
+	task.Post(u.rxPktCost(), func() {
+		// Link-level processing done: tap the promiscuous monitor, then
+		// hand the packet to the IP layer via ipintrq. A full queue
+		// drops it here — after the device work was spent (the
+		// "foolish" drop of §6.3).
+		u.r.tapMonitor(p)
+		if u.r.ipintrq.Enqueue(p) {
+			u.r.trace("device IPL work done, queued to ipintrq", p)
+			u.schedNetisr()
+		} else {
+			u.r.trace("ipintrq DROP (full) — device work wasted", p)
+			p.Release()
+		}
+		if u.r.Cfg.DisableBatching {
+			// Ablation: one packet per interrupt; the next packet pays
+			// a fresh dispatch cost.
+			in.RxIntrDone()
+			return
+		}
+		u.rxLoop(in, task)
+	})
+}
+
+// schedNetisr raises the network software interrupt if it is not
+// already pending.
+func (u *unmodifiedPath) schedNetisr() {
+	if u.softintScheduled {
+		return
+	}
+	u.softintScheduled = true
+	u.softint.Post(u.r.Cfg.Costs.SoftintDispatch, u.softLoop)
+}
+
+// softLoop forwards one packet per work item at softint IPL.
+func (u *unmodifiedPath) softLoop() {
+	if u.r.ipintrq.Empty() {
+		u.softintScheduled = false
+		return
+	}
+	cost := u.fwdPktCost()
+	if head := u.r.ipintrq.Peek(); head != nil && u.r.screend == nil &&
+		u.r.fastPathHit(head.Data) {
+		cost -= u.r.Cfg.Costs.FastPathSavings
+	}
+	u.softint.Post(cost, func() {
+		p := u.r.ipintrq.Dequeue()
+		if p != nil {
+			u.r.trace("softint ip_input", p)
+			u.deliverIP(p)
+		}
+		u.softLoop()
+	})
+}
+
+// deliverIP is the IP layer: locally-addressed packets go to the
+// socket/ICMP machinery; with screend configured, transit packets are
+// queued to the screening process; otherwise they are forwarded
+// directly.
+func (u *unmodifiedPath) deliverIP(p *netstack.Packet) {
+	if _, local := u.r.isLocal(p.Data); local {
+		u.r.deliverLocal(p)
+		return
+	}
+	if u.r.screend != nil {
+		u.r.screend.submit(p)
+		return
+	}
+	u.r.forwardFrame(p)
+}
+
+// txLoop reclaims one transmit descriptor per work item at device IPL.
+func (u *unmodifiedPath) txLoop(port *netPort) {
+	if !port.nic.ReclaimTx() {
+		port.nic.TxIntrDone()
+		return
+	}
+	port.txTask.Post(u.r.Cfg.Costs.TxDevicePerPkt, func() {
+		u.r.ifStart(port)
+		u.txLoop(port)
+	})
+}

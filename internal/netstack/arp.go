@@ -1,0 +1,45 @@
+package netstack
+
+// ARPTable maps next-hop IPv4 addresses to link-layer addresses. The
+// simulation uses static entries only: the paper's methodology inserts a
+// "phantom" ARP entry for a non-existent destination host so the router
+// will forward the flood onto the output Ethernet (§6.1); InsertPhantom
+// reproduces that trick.
+type ARPTable struct {
+	entries map[Addr]MAC
+	// Misses counts failed lookups (packets that a real kernel would
+	// hold or drop pending ARP resolution; the simulation drops them).
+	Misses uint64
+}
+
+// NewARPTable returns an empty table.
+func NewARPTable() *ARPTable {
+	return &ARPTable{entries: make(map[Addr]MAC)}
+}
+
+// Insert adds or replaces a static entry.
+func (t *ARPTable) Insert(ip Addr, mac MAC) {
+	t.entries[ip] = mac
+}
+
+// InsertPhantom adds an entry for ip with a locally-administered MAC
+// derived from the address, mimicking the paper's phantom ARP entry for
+// a destination host that does not exist.
+func (t *ARPTable) InsertPhantom(ip Addr) MAC {
+	mac := MAC{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
+	t.entries[ip] = mac
+	return mac
+}
+
+// Lookup resolves ip. The second result is false on a miss, which is
+// also counted in Misses.
+func (t *ARPTable) Lookup(ip Addr) (MAC, bool) {
+	mac, ok := t.entries[ip]
+	if !ok {
+		t.Misses++
+	}
+	return mac, ok
+}
+
+// Len returns the number of entries.
+func (t *ARPTable) Len() int { return len(t.entries) }

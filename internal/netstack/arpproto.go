@@ -1,0 +1,266 @@
+package netstack
+
+import (
+	"encoding/binary"
+
+	"livelock/internal/sim"
+)
+
+// ARP wire format (RFC 826) and a resolver state machine. The paper's
+// testbed avoids dynamic resolution entirely — the phantom destination
+// *must not* be resolved, that is the point of §6.1's planted entry —
+// so the router uses a static table; the codec and resolver here
+// complete the substrate for configurations that want dynamic
+// neighbours (see arpproto_test.go for the request/reply/timeout
+// behaviour).
+
+// ARPPacketLen is the length of an Ethernet/IPv4 ARP payload.
+const ARPPacketLen = 28
+
+// ARP operations.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// ARPPacket is a decoded ARP payload for Ethernet/IPv4.
+type ARPPacket struct {
+	Op                 uint16
+	SenderHA, TargetHA MAC
+	SenderIP, TargetIP Addr
+}
+
+// Marshal writes the packet into b (>= ARPPacketLen).
+func (a *ARPPacket) Marshal(b []byte) (int, error) {
+	if len(b) < ARPPacketLen {
+		return 0, ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], 1)      // htype: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // ptype: IPv4
+	b[4], b[5] = 6, 4                          // hlen, plen
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderHA[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetHA[:])
+	copy(b[24:28], a.TargetIP[:])
+	return ARPPacketLen, nil
+}
+
+// Unmarshal parses an ARP payload, validating the Ethernet/IPv4 types.
+func (a *ARPPacket) Unmarshal(b []byte) error {
+	if len(b) < ARPPacketLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 ||
+		binary.BigEndian.Uint16(b[2:4]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return ErrBadHeader
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderHA[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetHA[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return nil
+}
+
+// BuildARPFrame encodes a full Ethernet frame carrying the packet.
+// Requests are broadcast; replies are unicast to the requester.
+func BuildARPFrame(b []byte, a *ARPPacket) (int, error) {
+	frameLen := EthHeaderLen + ARPPacketLen
+	if frameLen < EthMinFrame {
+		frameLen = EthMinFrame
+	}
+	if len(b) < frameLen {
+		return 0, ErrTruncated
+	}
+	dst := a.TargetHA
+	if a.Op == ARPRequest {
+		dst = BroadcastMAC
+	}
+	eth := EthHeader{Dst: dst, Src: a.SenderHA, Type: EtherTypeARP}
+	if _, err := eth.Marshal(b); err != nil {
+		return 0, err
+	}
+	if _, err := a.Marshal(b[EthHeaderLen:]); err != nil {
+		return 0, err
+	}
+	for i := EthHeaderLen + ARPPacketLen; i < frameLen; i++ {
+		b[i] = 0
+	}
+	return frameLen, nil
+}
+
+// ParseARPFrame decodes an Ethernet frame carrying ARP.
+func ParseARPFrame(frame []byte) (EthHeader, ARPPacket, error) {
+	var eth EthHeader
+	var a ARPPacket
+	if err := eth.Unmarshal(frame); err != nil {
+		return eth, a, err
+	}
+	if eth.Type != EtherTypeARP {
+		return eth, a, ErrBadHeader
+	}
+	payload, err := EthPayload(frame)
+	if err != nil {
+		return eth, a, err
+	}
+	if err := a.Unmarshal(payload); err != nil {
+		return eth, a, err
+	}
+	return eth, a, nil
+}
+
+// ARPResolverConfig tunes a Resolver.
+type ARPResolverConfig struct {
+	// SelfIP/SelfMAC identify the resolving interface.
+	SelfIP  Addr
+	SelfMAC MAC
+	// Retries is the number of requests before giving up (default 3).
+	Retries int
+	// RetryInterval spaces the requests (default 1 s).
+	RetryInterval sim.Duration
+	// PendingPerHop bounds the packets queued awaiting one resolution
+	// (4.2BSD kept exactly one; default 4).
+	PendingPerHop int
+	// Send transmits an ARP frame on the interface.
+	Send func(*ARPPacket)
+	// Deliver transmits a data frame whose next hop just resolved; the
+	// frame's Ethernet destination has been rewritten.
+	Deliver func(frame []byte)
+	// Drop disposes of a frame whose resolution failed.
+	Drop func(frame []byte)
+}
+
+// ARPResolver implements dynamic neighbour resolution: data frames for
+// unresolved next hops queue (bounded) while requests go out with
+// retries; replies populate the table and flush the queue; exhaustion
+// drops the queue. All methods must be called from engine events.
+type ARPResolver struct {
+	eng   *sim.Engine
+	table *ARPTable
+	cfg   ARPResolverConfig
+
+	pending map[Addr]*arpPending
+
+	// RequestsSent, Resolved, Failed and QueueDrops count resolver
+	// activity.
+	RequestsSent uint64
+	Resolved     uint64
+	Failed       uint64
+	QueueDrops   uint64
+}
+
+type arpPending struct {
+	frames [][]byte
+	tries  int
+	timer  *sim.Event
+}
+
+// NewARPResolver returns a resolver populating table.
+func NewARPResolver(eng *sim.Engine, table *ARPTable, cfg ARPResolverConfig) *ARPResolver {
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = sim.Second
+	}
+	if cfg.PendingPerHop <= 0 {
+		cfg.PendingPerHop = 4
+	}
+	if cfg.Send == nil || cfg.Deliver == nil || cfg.Drop == nil {
+		panic("netstack: ARP resolver requires Send, Deliver and Drop")
+	}
+	return &ARPResolver{
+		eng: eng, table: table, cfg: cfg,
+		pending: make(map[Addr]*arpPending),
+	}
+}
+
+// PendingHops returns the number of next hops awaiting resolution.
+func (r *ARPResolver) PendingHops() int { return len(r.pending) }
+
+// Resolve queues frame for nextHop: if the table already has the
+// answer the frame is delivered immediately; otherwise it waits for the
+// reply (or is dropped on queue overflow / resolution failure).
+func (r *ARPResolver) Resolve(nextHop Addr, frame []byte) {
+	if mac, ok := r.table.Lookup(nextHop); ok {
+		r.rewrite(frame, mac)
+		r.cfg.Deliver(frame)
+		return
+	}
+	p := r.pending[nextHop]
+	if p == nil {
+		p = &arpPending{}
+		r.pending[nextHop] = p
+		r.sendRequest(nextHop, p)
+	}
+	if len(p.frames) >= r.cfg.PendingPerHop {
+		r.QueueDrops++
+		r.cfg.Drop(frame)
+		return
+	}
+	p.frames = append(p.frames, frame)
+}
+
+func (r *ARPResolver) sendRequest(nextHop Addr, p *arpPending) {
+	p.tries++
+	r.RequestsSent++
+	r.cfg.Send(&ARPPacket{
+		Op:       ARPRequest,
+		SenderHA: r.cfg.SelfMAC, SenderIP: r.cfg.SelfIP,
+		TargetIP: nextHop,
+	})
+	p.timer = r.eng.After(r.cfg.RetryInterval, func() { r.onTimeout(nextHop) })
+}
+
+func (r *ARPResolver) onTimeout(nextHop Addr) {
+	p := r.pending[nextHop]
+	if p == nil {
+		return
+	}
+	if p.tries >= r.cfg.Retries {
+		delete(r.pending, nextHop)
+		r.Failed++
+		for _, f := range p.frames {
+			r.cfg.Drop(f)
+		}
+		return
+	}
+	r.sendRequest(nextHop, p)
+}
+
+// Input processes a received ARP frame: replies (and requests, which
+// carry the sender's binding) populate the table and flush pending
+// traffic; requests addressed to SelfIP are answered via Send.
+func (r *ARPResolver) Input(frame []byte) error {
+	_, a, err := ParseARPFrame(frame)
+	if err != nil {
+		return err
+	}
+	// Learn the sender's binding either way (RFC 826 merge step).
+	r.table.Insert(a.SenderIP, a.SenderHA)
+	if p := r.pending[a.SenderIP]; p != nil {
+		delete(r.pending, a.SenderIP)
+		r.eng.Cancel(p.timer)
+		r.Resolved++
+		for _, f := range p.frames {
+			r.rewrite(f, a.SenderHA)
+			r.cfg.Deliver(f)
+		}
+	}
+	if a.Op == ARPRequest && a.TargetIP == r.cfg.SelfIP {
+		r.cfg.Send(&ARPPacket{
+			Op:       ARPReply,
+			SenderHA: r.cfg.SelfMAC, SenderIP: r.cfg.SelfIP,
+			TargetHA: a.SenderHA, TargetIP: a.SenderIP,
+		})
+	}
+	return nil
+}
+
+// rewrite sets the frame's link destination and source.
+func (r *ARPResolver) rewrite(frame []byte, dst MAC) {
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], r.cfg.SelfMAC[:])
+}

@@ -1,0 +1,182 @@
+package netstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"livelock/internal/sim"
+)
+
+func TestARPPacketRoundTrip(t *testing.T) {
+	check := func(op uint16, sha, tha [6]byte, spa, tpa [4]byte) bool {
+		a := ARPPacket{Op: op, SenderHA: MAC(sha), TargetHA: MAC(tha),
+			SenderIP: Addr(spa), TargetIP: Addr(tpa)}
+		var b [ARPPacketLen]byte
+		if _, err := a.Marshal(b[:]); err != nil {
+			return false
+		}
+		var got ARPPacket
+		if err := got.Unmarshal(b[:]); err != nil {
+			return false
+		}
+		return got == a
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARPFrameBroadcastForRequests(t *testing.T) {
+	req := &ARPPacket{Op: ARPRequest, SenderHA: MAC{1, 2, 3, 4, 5, 6},
+		SenderIP: AddrFrom(10, 0, 0, 1), TargetIP: AddrFrom(10, 0, 0, 9)}
+	b := make([]byte, EthMinFrame)
+	n, err := BuildARPFrame(b, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, got, err := ParseARPFrame(b[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eth.Dst.IsBroadcast() {
+		t.Fatalf("request dst %v, want broadcast", eth.Dst)
+	}
+	if got.Op != ARPRequest || got.TargetIP != req.TargetIP {
+		t.Fatalf("parsed %+v", got)
+	}
+	// A reply is unicast.
+	rep := &ARPPacket{Op: ARPReply, SenderHA: MAC{9, 9, 9, 9, 9, 9},
+		TargetHA: MAC{1, 2, 3, 4, 5, 6}}
+	n, err = BuildARPFrame(b, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, _, _ = ParseARPFrame(b[:n])
+	if eth.Dst != rep.TargetHA {
+		t.Fatalf("reply dst %v", eth.Dst)
+	}
+}
+
+// resolverHarness wires two resolvers (a "router" and a "host") back to
+// back through in-memory delivery.
+type resolverHarness struct {
+	eng          *sim.Engine
+	router, host *ARPResolver
+	delivered    [][]byte
+	dropped      int
+}
+
+func newResolverHarness(t *testing.T) *resolverHarness {
+	t.Helper()
+	h := &resolverHarness{eng: sim.NewEngine()}
+	routerIP, routerMAC := AddrFrom(10, 0, 0, 1), MAC{0xaa, 0, 0, 0, 0, 1}
+	hostIP, hostMAC := AddrFrom(10, 0, 0, 9), MAC{0xbb, 0, 0, 0, 0, 9}
+
+	send := func(from *ARPResolver, to **ARPResolver) func(*ARPPacket) {
+		return func(a *ARPPacket) {
+			buf := make([]byte, EthMinFrame)
+			n, err := BuildARPFrame(buf, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deliver on the next event (a wire hop).
+			h.eng.After(10*sim.Microsecond, func() {
+				if *to != nil {
+					(*to).Input(buf[:n])
+				}
+			})
+		}
+	}
+	h.router = NewARPResolver(h.eng, NewARPTable(), ARPResolverConfig{
+		SelfIP: routerIP, SelfMAC: routerMAC,
+		Retries: 3, RetryInterval: 100 * sim.Millisecond, PendingPerHop: 2,
+		Send:    send(h.router, &h.host),
+		Deliver: func(f []byte) { h.delivered = append(h.delivered, f) },
+		Drop:    func([]byte) { h.dropped++ },
+	})
+	h.host = NewARPResolver(h.eng, NewARPTable(), ARPResolverConfig{
+		SelfIP: hostIP, SelfMAC: hostMAC,
+		Send:    send(h.host, &h.router),
+		Deliver: func([]byte) {},
+		Drop:    func([]byte) {},
+	})
+	return h
+}
+
+func dataFrame() []byte { return make([]byte, EthMinFrame) }
+
+func TestARPResolutionDeliversPending(t *testing.T) {
+	h := newResolverHarness(t)
+	hostIP := AddrFrom(10, 0, 0, 9)
+	h.router.Resolve(hostIP, dataFrame())
+	h.router.Resolve(hostIP, dataFrame())
+	h.eng.Run(sim.Time(sim.Second))
+	if len(h.delivered) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(h.delivered))
+	}
+	// Frames were rewritten to the host's MAC.
+	if h.delivered[0][0] != 0xbb {
+		t.Fatalf("frame not rewritten: dst %x", h.delivered[0][0:6])
+	}
+	if h.router.RequestsSent != 1 || h.router.Resolved != 1 {
+		t.Fatalf("requests=%d resolved=%d", h.router.RequestsSent, h.router.Resolved)
+	}
+	// Subsequent traffic hits the table directly.
+	h.router.Resolve(hostIP, dataFrame())
+	if len(h.delivered) != 3 {
+		t.Fatal("cached resolution did not deliver immediately")
+	}
+}
+
+func TestARPPendingQueueBound(t *testing.T) {
+	h := newResolverHarness(t)
+	hostIP := AddrFrom(10, 0, 0, 9)
+	for i := 0; i < 5; i++ {
+		h.router.Resolve(hostIP, dataFrame())
+	}
+	if h.dropped != 3 {
+		t.Fatalf("dropped %d over the 2-frame pending bound, want 3", h.dropped)
+	}
+}
+
+func TestARPRetriesThenFails(t *testing.T) {
+	h := newResolverHarness(t)
+	h.host = nil // the neighbour does not exist
+	ghost := AddrFrom(10, 0, 0, 77)
+	h.router.Resolve(ghost, dataFrame())
+	h.eng.Run(sim.Time(sim.Second))
+	if h.router.RequestsSent != 3 {
+		t.Fatalf("sent %d requests, want 3 retries", h.router.RequestsSent)
+	}
+	if h.router.Failed != 1 || h.dropped != 1 {
+		t.Fatalf("failed=%d dropped=%d", h.router.Failed, h.dropped)
+	}
+	if h.router.PendingHops() != 0 {
+		t.Fatal("pending entry leaked after failure")
+	}
+}
+
+func TestARPRequestLearnsSender(t *testing.T) {
+	// Receiving a *request* from a neighbour teaches us its binding
+	// (the RFC 826 merge step), so our later traffic needs no request.
+	h := newResolverHarness(t)
+	h.host.Resolve(AddrFrom(10, 0, 0, 1), dataFrame()) // host ARPs for the router
+	h.eng.Run(sim.Time(sim.Second))
+	before := h.router.RequestsSent
+	h.router.Resolve(AddrFrom(10, 0, 0, 9), dataFrame())
+	if h.router.RequestsSent != before {
+		t.Fatal("router sent a request despite having learned the binding")
+	}
+	if len(h.delivered) != 1 {
+		t.Fatalf("delivered %d", len(h.delivered))
+	}
+}
+
+func TestARPResolverValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing callbacks accepted")
+		}
+	}()
+	NewARPResolver(sim.NewEngine(), NewARPTable(), ARPResolverConfig{})
+}

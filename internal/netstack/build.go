@@ -1,0 +1,109 @@
+package netstack
+
+import "encoding/binary"
+
+// FrameSpec describes a UDP/IPv4/Ethernet frame to build.
+type FrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     Addr
+	SrcPort, DstPort uint16
+	TTL              uint8
+	IPID             uint16
+	Payload          []byte
+	// UDPChecksum controls whether the UDP checksum is computed; the
+	// paper's generator sends 4-byte UDP payloads, checksummed.
+	UDPChecksum bool
+}
+
+// FrameLen returns the wire length the spec will produce, including
+// minimum-frame padding.
+func (s *FrameSpec) FrameLen() int {
+	n := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + len(s.Payload)
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n
+}
+
+// BuildUDPFrame encodes the spec into b, which must be at least
+// s.FrameLen() bytes, and returns the frame length. Padding bytes beyond
+// the IP datagram are zeroed (Ethernet minimum-frame padding).
+func BuildUDPFrame(b []byte, s *FrameSpec) (int, error) {
+	frameLen := s.FrameLen()
+	if len(b) < frameLen {
+		return 0, ErrTruncated
+	}
+	eth := EthHeader{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	if _, err := eth.Marshal(b); err != nil {
+		return 0, err
+	}
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ipLen := IPv4HeaderLen + UDPHeaderLen + len(s.Payload)
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		ID:       s.IPID,
+		TTL:      ttl,
+		Protocol: ProtoUDP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	if _, err := ip.Marshal(b[EthHeaderLen:]); err != nil {
+		return 0, err
+	}
+	udpStart := EthHeaderLen + IPv4HeaderLen
+	udp := UDPHeader{
+		SrcPort: s.SrcPort,
+		DstPort: s.DstPort,
+		Length:  uint16(UDPHeaderLen + len(s.Payload)),
+	}
+	if _, err := udp.Marshal(b[udpStart:]); err != nil {
+		return 0, err
+	}
+	copy(b[udpStart+UDPHeaderLen:], s.Payload)
+	// Zero any minimum-frame padding.
+	for i := EthHeaderLen + ipLen; i < frameLen; i++ {
+		b[i] = 0
+	}
+	if s.UDPChecksum {
+		datagram := b[udpStart : udpStart+UDPHeaderLen+len(s.Payload)]
+		c := ComputeUDPChecksum(s.SrcIP, s.DstIP, datagram)
+		binary.BigEndian.PutUint16(b[udpStart+6:udpStart+8], c)
+	}
+	return frameLen, nil
+}
+
+// ParseUDPFrame decodes an Ethernet/IPv4/UDP frame, validating the IP
+// checksum, and returns the headers and UDP payload. Used by sinks and
+// by tests to confirm that forwarded frames are intact.
+func ParseUDPFrame(frame []byte) (EthHeader, IPv4Header, UDPHeader, []byte, error) {
+	var eth EthHeader
+	var ip IPv4Header
+	var udp UDPHeader
+	if err := eth.Unmarshal(frame); err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if eth.Type != EtherTypeIPv4 {
+		return eth, ip, udp, nil, ErrBadVersion
+	}
+	ipb, err := EthPayload(frame)
+	if err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if err := ip.Unmarshal(ipb); err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return eth, ip, udp, nil, ErrBadHeader
+	}
+	udpb := ipb[IPv4HeaderLen:ip.TotalLen]
+	if err := udp.Unmarshal(udpb); err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if int(udp.Length) < UDPHeaderLen || int(udp.Length) > len(udpb) {
+		return eth, ip, udp, nil, ErrBadHeader
+	}
+	return eth, ip, udp, udpb[UDPHeaderLen:udp.Length], nil
+}

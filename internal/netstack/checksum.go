@@ -1,0 +1,43 @@
+package netstack
+
+// Internet checksum arithmetic per RFC 1071, with the incremental-update
+// rule from RFC 1624. The forwarding fast path uses the incremental form
+// when decrementing TTL, exactly as production routers do; tests verify
+// it against full recomputation.
+
+// Checksum computes the 16-bit one's-complement of the one's-complement
+// sum of b, with the standard odd-length zero-pad.
+func Checksum(b []byte) uint16 {
+	return ^foldChecksum(sumBytes(0, b))
+}
+
+// sumBytes adds b to a running 32-bit partial one's-complement sum.
+func sumBytes(sum uint32, b []byte) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	return sum
+}
+
+// foldChecksum reduces a 32-bit partial sum to 16 bits.
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// ChecksumUpdate16 returns the checksum after a 16-bit field covered by
+// it changes from old to new, using the RFC 1624 Eqn. 3 formulation:
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// which is safe for all inputs (unlike the RFC 1141 form).
+func ChecksumUpdate16(check, old, new uint16) uint16 {
+	sum := uint32(^check&0xffff) + uint32(^old&0xffff) + uint32(new)
+	return ^foldChecksum(sum)
+}

@@ -1,0 +1,75 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+	// one's-complement sum = ddf2, checksum = ^ddf2 = 220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd length pads with a zero byte on the right.
+	odd := []byte{0x01, 0x02, 0x03}
+	even := []byte{0x01, 0x02, 0x03, 0x00}
+	if Checksum(odd) != Checksum(even) {
+		t.Fatal("odd-length checksum differs from zero-padded even form")
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// Property: embedding the checksum into the data makes the total
+	// checksum verify (sum to zero) for any content.
+	check := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		// Zero a checksum slot, compute, store, verify.
+		data[0], data[1] = 0, 0
+		c := Checksum(data)
+		binary.BigEndian.PutUint16(data[0:2], c)
+		return Checksum(data) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumUpdate16MatchesRecompute(t *testing.T) {
+	// Property (RFC 1624): incrementally updating a 16-bit field gives
+	// the same checksum as recomputing from scratch.
+	check := func(data []byte, idx uint8, newVal uint16) bool {
+		if len(data) < 4 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		// Pick an aligned 16-bit field that is not the checksum slot (0).
+		fi := 2 + 2*(int(idx)%((len(data)-2)/2))
+		data[0], data[1] = 0, 0
+		c := Checksum(data)
+		binary.BigEndian.PutUint16(data[0:2], c)
+
+		old := binary.BigEndian.Uint16(data[fi : fi+2])
+		binary.BigEndian.PutUint16(data[fi:fi+2], newVal)
+		inc := ChecksumUpdate16(c, old, newVal)
+
+		data[0], data[1] = 0, 0
+		full := Checksum(data)
+		return inc == full
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherType values used by the simulation.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// Ethernet frame geometry (without preamble/FCS, which the wire model
+// accounts for separately).
+const (
+	EthHeaderLen    = 14
+	EthMinFrame     = 60   // minimum frame length excluding FCS
+	EthMaxFrame     = 1514 // maximum frame length excluding FCS
+	EthMTU          = 1500
+	EthOverheadBits = 8*8 + 4*8 + 96 // preamble + FCS + inter-frame gap, in bit times
+)
+
+// EthHeader is a decoded Ethernet II header.
+type EthHeader struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// ErrTruncated is returned when a buffer is too short for the header
+// being decoded.
+var ErrTruncated = errors.New("netstack: truncated packet")
+
+// Marshal writes the header into b, which must be at least EthHeaderLen
+// bytes, and returns the number of bytes written.
+func (h *EthHeader) Marshal(b []byte) (int, error) {
+	if len(b) < EthHeaderLen {
+		return 0, ErrTruncated
+	}
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(h.Type))
+	return EthHeaderLen, nil
+}
+
+// Unmarshal parses an Ethernet header from b.
+func (h *EthHeader) Unmarshal(b []byte) error {
+	if len(b) < EthHeaderLen {
+		return ErrTruncated
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return nil
+}
+
+// Payload returns the frame bytes following the Ethernet header.
+func EthPayload(frame []byte) ([]byte, error) {
+	if len(frame) < EthHeaderLen {
+		return nil, ErrTruncated
+	}
+	return frame[EthHeaderLen:], nil
+}

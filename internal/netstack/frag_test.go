@@ -1,0 +1,231 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"livelock/internal/sim"
+)
+
+// buildBigUDP builds an unfragmented UDP frame with the given payload
+// size (may exceed the Ethernet MTU; this is the pre-fragmentation
+// form).
+func buildBigUDP(t testing.TB, payloadLen int, fill byte) []byte {
+	t.Helper()
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = fill + byte(i%251)
+	}
+	spec := &FrameSpec{
+		SrcMAC: MAC{0xbb, 0, 0, 0, 0, 1}, DstMAC: MAC{0xaa, 0, 0, 0, 0, 1},
+		SrcIP: AddrFrom(10, 0, 0, 2), DstIP: AddrFrom(10, 0, 1, 9),
+		SrcPort: 5000, DstPort: 2049, IPID: 77,
+		Payload: payload, UDPChecksum: true,
+	}
+	buf := make([]byte, spec.FrameLen())
+	n, err := BuildUDPFrame(buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+func allocSlices(store *[][]byte) func(int) []byte {
+	return func(n int) []byte {
+		b := make([]byte, n)
+		*store = append(*store, b)
+		return b
+	}
+}
+
+func TestFragmentSmallFramePassesThrough(t *testing.T) {
+	frame := buildBigUDP(t, 100, 1)
+	var bufs [][]byte
+	frags, err := FragmentFrame(frame, EthMTU, allocSlices(&bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], frame) {
+		t.Fatalf("small frame altered by fragmentation: %d frags", len(frags))
+	}
+}
+
+func TestFragmentAndReassembleRoundTrip(t *testing.T) {
+	frame := buildBigUDP(t, 4000, 3)
+	var bufs [][]byte
+	frags, err := FragmentFrame(frame, EthMTU, allocSlices(&bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("4000-byte payload produced only %d fragments", len(frags))
+	}
+	for i, f := range frags {
+		if len(f) > EthMaxFrame {
+			t.Fatalf("fragment %d length %d exceeds max frame", i, len(f))
+		}
+		if !IsFragment(f) {
+			t.Fatalf("fragment %d not marked as fragment", i)
+		}
+		// Every fragment must carry a valid IP header.
+		var ip IPv4Header
+		if err := ip.Unmarshal(f[EthHeaderLen:]); err != nil {
+			t.Fatalf("fragment %d header: %v", i, err)
+		}
+	}
+
+	var now sim.Time
+	ra := NewReassembler(func() sim.Time { return now }, sim.Second)
+	var out []byte
+	var done bool
+	for _, f := range frags {
+		out, done, err = ra.Submit(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done {
+		t.Fatal("datagram not complete after all fragments")
+	}
+	if !bytes.Equal(out, frame) {
+		t.Fatal("reassembled frame differs from original")
+	}
+	// The reassembled frame must still carry a valid UDP datagram.
+	_, ip, udp, payload, err := ParseUDPFrame(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.DstPort != 2049 || len(payload) != 4000 {
+		t.Fatalf("parsed %d-byte payload to port %d", len(payload), udp.DstPort)
+	}
+	if !VerifyUDPChecksum(ip.Src, ip.Dst,
+		out[EthHeaderLen+IPv4HeaderLen:EthHeaderLen+int(ip.TotalLen)]) {
+		t.Fatal("UDP checksum invalid after reassembly")
+	}
+	if ra.Completed != 1 || ra.Pending() != 0 {
+		t.Fatalf("reassembler state: completed=%d pending=%d", ra.Completed, ra.Pending())
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	frame := buildBigUDP(t, 3000, 9)
+	var bufs [][]byte
+	frags, err := FragmentFrame(frame, EthMTU, allocSlices(&bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now sim.Time
+	ra := NewReassembler(func() sim.Time { return now }, sim.Second)
+	// Submit in reverse order.
+	var out []byte
+	var done bool
+	for i := len(frags) - 1; i >= 0; i-- {
+		out, done, err = ra.Submit(frags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done || !bytes.Equal(out, frame) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblyTimeout(t *testing.T) {
+	frame := buildBigUDP(t, 3000, 5)
+	var bufs [][]byte
+	frags, _ := FragmentFrame(frame, EthMTU, allocSlices(&bufs))
+	var now sim.Time
+	ra := NewReassembler(func() sim.Time { return now }, 100*sim.Millisecond)
+	if _, done, err := ra.Submit(frags[0]); err != nil || done {
+		t.Fatal("first fragment should not complete")
+	}
+	now = sim.Time(200 * sim.Millisecond)
+	// A later unrelated fragment triggers lazy expiry.
+	other := buildBigUDP(t, 3000, 6)
+	var bufs2 [][]byte
+	frags2, _ := FragmentFrame(other, EthMTU, allocSlices(&bufs2))
+	// Change the IP ID so it is a different datagram.
+	frags2[0][EthHeaderLen+4] = 0xde
+	reIP(frags2[0])
+	if _, _, err := ra.Submit(frags2[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", ra.Expired)
+	}
+	// Completing the first datagram now requires all its fragments
+	// again; the remaining ones alone never complete it.
+	for _, f := range frags[1:] {
+		if _, done, _ := ra.Submit(f); done {
+			t.Fatal("expired datagram completed from partial fragments")
+		}
+	}
+}
+
+// reIP recomputes the IP checksum of a frame after a manual header edit.
+func reIP(frame []byte) {
+	ipb := frame[EthHeaderLen:]
+	ipb[10], ipb[11] = 0, 0
+	c := Checksum(ipb[:IPv4HeaderLen])
+	ipb[10] = byte(c >> 8)
+	ipb[11] = byte(c)
+}
+
+func TestFragmentDFRejected(t *testing.T) {
+	frame := buildBigUDP(t, 3000, 1)
+	// Set DF.
+	word := uint16(ipFlagDF) << 13
+	frame[EthHeaderLen+6] = byte(word >> 8)
+	frame[EthHeaderLen+7] = byte(word)
+	reIP(frame)
+	var bufs [][]byte
+	if _, err := FragmentFrame(frame, EthMTU, allocSlices(&bufs)); err != ErrFragNeeded {
+		t.Fatalf("err = %v, want ErrFragNeeded", err)
+	}
+}
+
+func TestSubmitNonFragment(t *testing.T) {
+	frame := buildBigUDP(t, 100, 1)
+	var now sim.Time
+	ra := NewReassembler(func() sim.Time { return now }, sim.Second)
+	if _, _, err := ra.Submit(frame); err != ErrNotFragment {
+		t.Fatalf("err = %v, want ErrNotFragment", err)
+	}
+}
+
+func TestFragmentRoundTripProperty(t *testing.T) {
+	check := func(sizeRaw uint16, fill byte, mtuRaw uint8) bool {
+		size := int(sizeRaw)%7000 + 1481 // always needs fragmentation
+		mtu := 576 + int(mtuRaw)%925     // [576, 1500]
+		frame := buildBigUDP(t, size, fill)
+		var bufs [][]byte
+		frags, err := FragmentFrame(frame, mtu, allocSlices(&bufs))
+		if err != nil {
+			return false
+		}
+		for _, f := range frags {
+			if len(f)-EthHeaderLen > mtu && len(f) > EthMinFrame {
+				return false // fragment exceeds MTU
+			}
+		}
+		var now sim.Time
+		ra := NewReassembler(func() sim.Time { return now }, sim.Second)
+		for i, f := range frags {
+			out, done, err := ra.Submit(f)
+			if err != nil {
+				return false
+			}
+			if done != (i == len(frags)-1) {
+				return false
+			}
+			if done && !bytes.Equal(out, frame) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package netstack
+
+import "encoding/binary"
+
+// ICMP message types used by the router.
+const (
+	ICMPTypeEchoReply    = 0
+	ICMPTypeEchoRequest  = 8
+	ICMPTypeTimeExceeded = 11
+
+	ICMPHeaderLen = 8
+)
+
+// ICMPHeader is a decoded ICMP header (type, code, checksum plus the
+// 4-byte rest-of-header word whose meaning depends on the type).
+type ICMPHeader struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	Rest     uint32
+}
+
+// Marshal writes the header into b (>= ICMPHeaderLen) without computing
+// the checksum (ICMP checksums cover the payload too; use
+// FinishICMPChecksum).
+func (h *ICMPHeader) Marshal(b []byte) (int, error) {
+	if len(b) < ICMPHeaderLen {
+		return 0, ErrTruncated
+	}
+	b[0] = h.Type
+	b[1] = h.Code
+	binary.BigEndian.PutUint16(b[2:4], h.Checksum)
+	binary.BigEndian.PutUint32(b[4:8], h.Rest)
+	return ICMPHeaderLen, nil
+}
+
+// Unmarshal parses an ICMP header from b.
+func (h *ICMPHeader) Unmarshal(b []byte) error {
+	if len(b) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	h.Type = b[0]
+	h.Code = b[1]
+	h.Checksum = binary.BigEndian.Uint16(b[2:4])
+	h.Rest = binary.BigEndian.Uint32(b[4:8])
+	return nil
+}
+
+// FinishICMPChecksum computes and stores the checksum over an entire
+// ICMP message (header + payload) whose checksum field is zero.
+func FinishICMPChecksum(msg []byte) {
+	msg[2], msg[3] = 0, 0
+	c := Checksum(msg)
+	binary.BigEndian.PutUint16(msg[2:4], c)
+}
+
+// VerifyICMPChecksum reports whether the message checksum is valid.
+func VerifyICMPChecksum(msg []byte) bool {
+	return len(msg) >= ICMPHeaderLen && Checksum(msg) == 0
+}
+
+// ICMPErrorSpec describes an ICMP error to build in response to an
+// offending datagram (RFC 792: the error carries the original IP header
+// plus the first 8 bytes of its payload).
+type ICMPErrorSpec struct {
+	Type     uint8
+	Code     uint8
+	SrcMAC   MAC
+	DstMAC   MAC
+	SrcIP    Addr // the router's address on the interface sending the error
+	DstIP    Addr // the offending datagram's source
+	IPID     uint16
+	Original []byte // the offending IP datagram (header + payload)
+}
+
+// FrameLen returns the Ethernet frame length the spec will produce.
+func (s *ICMPErrorSpec) FrameLen() int {
+	quoted := len(s.Original)
+	if quoted > IPv4HeaderLen+8 {
+		quoted = IPv4HeaderLen + 8
+	}
+	n := EthHeaderLen + IPv4HeaderLen + ICMPHeaderLen + quoted
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n
+}
+
+// BuildICMPError encodes the error message into b (>= s.FrameLen()) and
+// returns the frame length.
+func BuildICMPError(b []byte, s *ICMPErrorSpec) (int, error) {
+	frameLen := s.FrameLen()
+	if len(b) < frameLen {
+		return 0, ErrTruncated
+	}
+	quoted := len(s.Original)
+	if quoted > IPv4HeaderLen+8 {
+		quoted = IPv4HeaderLen + 8
+	}
+	eth := EthHeader{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	if _, err := eth.Marshal(b); err != nil {
+		return 0, err
+	}
+	ipLen := IPv4HeaderLen + ICMPHeaderLen + quoted
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		ID:       s.IPID,
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	if _, err := ip.Marshal(b[EthHeaderLen:]); err != nil {
+		return 0, err
+	}
+	icmpStart := EthHeaderLen + IPv4HeaderLen
+	h := ICMPHeader{Type: s.Type, Code: s.Code}
+	if _, err := h.Marshal(b[icmpStart:]); err != nil {
+		return 0, err
+	}
+	copy(b[icmpStart+ICMPHeaderLen:], s.Original[:quoted])
+	for i := EthHeaderLen + ipLen; i < frameLen; i++ {
+		b[i] = 0
+	}
+	FinishICMPChecksum(b[icmpStart : icmpStart+ICMPHeaderLen+quoted])
+	return frameLen, nil
+}
+
+// EchoSpec describes an ICMP echo request to build.
+type EchoSpec struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   Addr
+	Ident, Seq     uint16
+	Payload        []byte
+}
+
+// FrameLen returns the Ethernet frame length the spec will produce.
+func (s *EchoSpec) FrameLen() int {
+	n := EthHeaderLen + IPv4HeaderLen + ICMPHeaderLen + len(s.Payload)
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n
+}
+
+// BuildEchoRequest encodes an echo request into b (>= s.FrameLen()).
+func BuildEchoRequest(b []byte, s *EchoSpec) (int, error) {
+	frameLen := s.FrameLen()
+	if len(b) < frameLen {
+		return 0, ErrTruncated
+	}
+	eth := EthHeader{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	if _, err := eth.Marshal(b); err != nil {
+		return 0, err
+	}
+	ipLen := IPv4HeaderLen + ICMPHeaderLen + len(s.Payload)
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	if _, err := ip.Marshal(b[EthHeaderLen:]); err != nil {
+		return 0, err
+	}
+	icmpStart := EthHeaderLen + IPv4HeaderLen
+	h := ICMPHeader{
+		Type: ICMPTypeEchoRequest,
+		Rest: uint32(s.Ident)<<16 | uint32(s.Seq),
+	}
+	if _, err := h.Marshal(b[icmpStart:]); err != nil {
+		return 0, err
+	}
+	copy(b[icmpStart+ICMPHeaderLen:], s.Payload)
+	for i := EthHeaderLen + ipLen; i < frameLen; i++ {
+		b[i] = 0
+	}
+	FinishICMPChecksum(b[icmpStart : icmpStart+ICMPHeaderLen+len(s.Payload)])
+	return frameLen, nil
+}
+
+// MakeEchoReplyInPlace rewrites an ICMP echo-request frame into the
+// corresponding echo reply, exactly as 4.2BSD's icmp_reflect does:
+// swap link and IP addresses, reset the TTL, flip the ICMP type, and
+// fix both checksums. selfMAC becomes the reply's source address.
+func MakeEchoReplyInPlace(frame []byte, selfMAC MAC) error {
+	var eth EthHeader
+	if err := eth.Unmarshal(frame); err != nil {
+		return err
+	}
+	if eth.Type != EtherTypeIPv4 {
+		return ErrBadVersion
+	}
+	ipb, err := EthPayload(frame)
+	if err != nil {
+		return err
+	}
+	var ip IPv4Header
+	if err := ip.Unmarshal(ipb); err != nil {
+		return err
+	}
+	if ip.Protocol != ProtoICMP {
+		return ErrBadHeader
+	}
+	msg := ipb[IPv4HeaderLen:ip.TotalLen]
+	if !VerifyICMPChecksum(msg) {
+		return ErrBadChecksum
+	}
+	var icmp ICMPHeader
+	if err := icmp.Unmarshal(msg); err != nil {
+		return err
+	}
+	if icmp.Type != ICMPTypeEchoRequest {
+		return ErrBadHeader
+	}
+	// Link layer: reply to the requester.
+	out := EthHeader{Dst: eth.Src, Src: selfMAC, Type: EtherTypeIPv4}
+	if _, err := out.Marshal(frame); err != nil {
+		return err
+	}
+	// IP layer: swap addresses, fresh TTL, recompute checksum.
+	ip.Src, ip.Dst = ip.Dst, ip.Src
+	ip.TTL = 64
+	if _, err := ip.Marshal(ipb); err != nil {
+		return err
+	}
+	// ICMP: request → reply.
+	msg[0] = ICMPTypeEchoReply
+	FinishICMPChecksum(msg)
+	return nil
+}
+
+// ParseICMPFrame decodes an Ethernet/IPv4/ICMP frame and returns the
+// headers and the ICMP payload (after the 8-byte ICMP header).
+func ParseICMPFrame(frame []byte) (EthHeader, IPv4Header, ICMPHeader, []byte, error) {
+	var eth EthHeader
+	var ip IPv4Header
+	var icmp ICMPHeader
+	if err := eth.Unmarshal(frame); err != nil {
+		return eth, ip, icmp, nil, err
+	}
+	if eth.Type != EtherTypeIPv4 {
+		return eth, ip, icmp, nil, ErrBadVersion
+	}
+	ipb, err := EthPayload(frame)
+	if err != nil {
+		return eth, ip, icmp, nil, err
+	}
+	if err := ip.Unmarshal(ipb); err != nil {
+		return eth, ip, icmp, nil, err
+	}
+	if ip.Protocol != ProtoICMP {
+		return eth, ip, icmp, nil, ErrBadHeader
+	}
+	msg := ipb[IPv4HeaderLen:ip.TotalLen]
+	if !VerifyICMPChecksum(msg) {
+		return eth, ip, icmp, nil, ErrBadChecksum
+	}
+	if err := icmp.Unmarshal(msg); err != nil {
+		return eth, ip, icmp, nil, err
+	}
+	return eth, ip, icmp, msg[ICMPHeaderLen:], nil
+}

@@ -1,0 +1,108 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func buildOffender(t testing.TB, ttl uint8) []byte {
+	t.Helper()
+	spec := &FrameSpec{
+		SrcIP: AddrFrom(10, 0, 0, 2), DstIP: AddrFrom(10, 0, 1, 9),
+		SrcPort: 4000, DstPort: 9, Payload: []byte{1, 2, 3, 4},
+		TTL: ttl, UDPChecksum: true,
+	}
+	b := make([]byte, spec.FrameLen())
+	n, err := BuildUDPFrame(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b[:n]
+}
+
+func TestICMPHeaderRoundTrip(t *testing.T) {
+	check := func(typ, code uint8, rest uint32) bool {
+		h := ICMPHeader{Type: typ, Code: code, Rest: rest}
+		var b [ICMPHeaderLen]byte
+		if _, err := h.Marshal(b[:]); err != nil {
+			return false
+		}
+		var got ICMPHeader
+		if err := got.Unmarshal(b[:]); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildICMPError(t *testing.T) {
+	offender := buildOffender(t, 1)
+	origIP, _ := EthPayload(offender)
+
+	spec := &ICMPErrorSpec{
+		Type: ICMPTypeTimeExceeded, Code: 0,
+		SrcMAC: MAC{0xaa, 0, 0, 0, 0, 1}, DstMAC: MAC{0xbb, 0, 0, 0, 0, 1},
+		SrcIP:    AddrFrom(10, 0, 0, 1), // router's address
+		DstIP:    AddrFrom(10, 0, 0, 2), // offender's source
+		Original: origIP,
+	}
+	b := make([]byte, spec.FrameLen())
+	n, err := BuildICMPError(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, ip, icmp, payload, err := ParseICMPFrame(b[:n])
+	if err != nil {
+		t.Fatalf("generated ICMP does not parse: %v", err)
+	}
+	if eth.Dst != spec.DstMAC || ip.Dst != spec.DstIP || ip.Src != spec.SrcIP {
+		t.Fatalf("addressing wrong: %+v %+v", eth, ip)
+	}
+	if icmp.Type != ICMPTypeTimeExceeded || icmp.Code != 0 {
+		t.Fatalf("icmp header %+v", icmp)
+	}
+	// RFC 792: payload = original IP header + first 8 bytes of its data.
+	if len(payload) != IPv4HeaderLen+8 {
+		t.Fatalf("quoted %d bytes, want %d", len(payload), IPv4HeaderLen+8)
+	}
+	if !bytes.Equal(payload, origIP[:IPv4HeaderLen+8]) {
+		t.Fatal("quoted bytes differ from offending datagram")
+	}
+}
+
+func TestBuildICMPErrorShortOriginal(t *testing.T) {
+	// An offender shorter than header+8 is quoted in full.
+	orig := make([]byte, IPv4HeaderLen+2)
+	spec := &ICMPErrorSpec{Type: ICMPTypeTimeExceeded, Original: orig,
+		SrcIP: AddrFrom(1, 1, 1, 1), DstIP: AddrFrom(2, 2, 2, 2)}
+	b := make([]byte, spec.FrameLen())
+	n, err := BuildICMPError(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, payload, err := ParseICMPFrame(b[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != len(orig) {
+		t.Fatalf("quoted %d, want %d", len(payload), len(orig))
+	}
+}
+
+func TestICMPChecksumDetectsCorruption(t *testing.T) {
+	offender := buildOffender(t, 1)
+	origIP, _ := EthPayload(offender)
+	spec := &ICMPErrorSpec{Type: ICMPTypeTimeExceeded, Original: origIP,
+		SrcIP: AddrFrom(10, 0, 0, 1), DstIP: AddrFrom(10, 0, 0, 2)}
+	b := make([]byte, spec.FrameLen())
+	n, _ := BuildICMPError(b, spec)
+	// Corrupt one ICMP payload byte.
+	b[EthHeaderLen+IPv4HeaderLen+ICMPHeaderLen+3] ^= 0x10
+	if _, _, _, _, err := ParseICMPFrame(b[:n]); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}

@@ -1,0 +1,111 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Route is a routing-table entry: packets whose destination matches the
+// prefix are sent out interface IfIndex toward NextHop. A zero NextHop
+// means the destination is directly attached (deliver to Dst itself).
+type Route struct {
+	Prefix  Addr
+	Bits    int // prefix length, 0..32
+	NextHop Addr
+	IfIndex int
+}
+
+// String renders the route.
+func (r Route) String() string {
+	return fmt.Sprintf("%v/%d via %v dev %d", r.Prefix, r.Bits, r.NextHop, r.IfIndex)
+}
+
+// RoutingTable performs longest-prefix-match lookup using a binary trie,
+// the classic structure used by BSD's radix routing table (simplified to
+// one bit per level, which is sufficient at simulation scale and easy to
+// verify against a linear-scan reference in tests).
+type RoutingTable struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	route *Route // set if a prefix terminates here
+}
+
+// NewRoutingTable returns an empty table.
+func NewRoutingTable() *RoutingTable {
+	return &RoutingTable{root: &trieNode{}}
+}
+
+// ErrBadPrefix is returned for prefix lengths outside [0, 32].
+var ErrBadPrefix = errors.New("netstack: prefix length outside [0,32]")
+
+// ErrNoRoute is returned by Lookup when no prefix matches.
+var ErrNoRoute = errors.New("netstack: no route to host")
+
+// Insert adds a route, replacing any existing route with the same
+// prefix and length.
+func (t *RoutingTable) Insert(r Route) error {
+	if r.Bits < 0 || r.Bits > 32 {
+		return ErrBadPrefix
+	}
+	key := r.Prefix.Uint32() & maskBits(r.Bits)
+	node := t.root
+	for i := 0; i < r.Bits; i++ {
+		bit := (key >> (31 - i)) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if node.route == nil {
+		t.n++
+	}
+	stored := r
+	stored.Prefix = AddrFromUint32(key)
+	node.route = &stored
+	return nil
+}
+
+// Lookup returns the longest-prefix-match route for dst.
+func (t *RoutingTable) Lookup(dst Addr) (Route, error) {
+	key := dst.Uint32()
+	node := t.root
+	var best *Route
+	for i := 0; ; i++ {
+		if node.route != nil {
+			best = node.route
+		}
+		if i == 32 {
+			break
+		}
+		bit := (key >> (31 - i)) & 1
+		if node.child[bit] == nil {
+			break
+		}
+		node = node.child[bit]
+	}
+	if best == nil {
+		return Route{}, ErrNoRoute
+	}
+	return *best, nil
+}
+
+// Len returns the number of routes.
+func (t *RoutingTable) Len() int { return t.n }
+
+func maskBits(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// MatchPrefix reports whether dst falls within prefix/bits; exported for
+// the linear-scan reference used in tests.
+func MatchPrefix(prefix Addr, bits int, dst Addr) bool {
+	m := maskBits(bits)
+	return prefix.Uint32()&m == dst.Uint32()&m
+}

@@ -1,0 +1,191 @@
+package netstack
+
+import "encoding/binary"
+
+// TCP wire format (RFC 793, option-less) and checksum. §7.1 of the
+// paper discusses — but could not measure — how the kernel changes
+// affect end-system transports like TCP; the kernel package implements
+// a Tahoe-style sender/receiver over these headers so that experiment
+// can be run.
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// ProtoTCP is the IP protocol number for TCP.
+const ProtoTCP = 6
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// TCPHeader is a decoded option-less TCP header.
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+}
+
+// Marshal writes the header into b (>= TCPHeaderLen) with the stored
+// checksum; use FinishTCPChecksum to compute it over the full segment.
+func (h *TCPHeader) Marshal(b []byte) (int, error) {
+	if len(b) < TCPHeaderLen {
+		return 0, ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	b[18], b[19] = 0, 0 // urgent pointer
+	return TCPHeaderLen, nil
+}
+
+// Unmarshal parses a TCP header from b.
+func (h *TCPHeader) Unmarshal(b []byte) error {
+	if len(b) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	if b[12]>>4 != 5 {
+		return ErrBadHeader // options unsupported
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	return nil
+}
+
+// tcpPseudoSum computes the pseudo-header partial sum.
+func tcpPseudoSum(src, dst Addr, segLen int) uint32 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(segLen))
+	return sumBytes(0, pseudo[:])
+}
+
+// FinishTCPChecksum computes and stores the checksum over a whole TCP
+// segment (header + payload) whose checksum field is zero.
+func FinishTCPChecksum(src, dst Addr, segment []byte) {
+	segment[16], segment[17] = 0, 0
+	sum := tcpPseudoSum(src, dst, len(segment))
+	sum = sumBytes(sum, segment)
+	binary.BigEndian.PutUint16(segment[16:18], ^foldChecksum(sum))
+}
+
+// VerifyTCPChecksum reports whether a segment's checksum is valid.
+func VerifyTCPChecksum(src, dst Addr, segment []byte) bool {
+	if len(segment) < TCPHeaderLen {
+		return false
+	}
+	sum := tcpPseudoSum(src, dst, len(segment))
+	sum = sumBytes(sum, segment)
+	return foldChecksum(sum) == 0xffff
+}
+
+// TCPSpec describes a TCP/IPv4/Ethernet frame to build.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	IPID             uint16
+	Payload          []byte
+}
+
+// FrameLen returns the wire length the spec will produce.
+func (s *TCPSpec) FrameLen() int {
+	n := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(s.Payload)
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n
+}
+
+// BuildTCPFrame encodes the spec into b (>= s.FrameLen()).
+func BuildTCPFrame(b []byte, s *TCPSpec) (int, error) {
+	frameLen := s.FrameLen()
+	if len(b) < frameLen {
+		return 0, ErrTruncated
+	}
+	eth := EthHeader{Dst: s.DstMAC, Src: s.SrcMAC, Type: EtherTypeIPv4}
+	if _, err := eth.Marshal(b); err != nil {
+		return 0, err
+	}
+	ipLen := IPv4HeaderLen + TCPHeaderLen + len(s.Payload)
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		ID:       s.IPID,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	if _, err := ip.Marshal(b[EthHeaderLen:]); err != nil {
+		return 0, err
+	}
+	tcpStart := EthHeaderLen + IPv4HeaderLen
+	th := TCPHeader{
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Seq: s.Seq, Ack: s.Ack, Flags: s.Flags, Window: s.Window,
+	}
+	if _, err := th.Marshal(b[tcpStart:]); err != nil {
+		return 0, err
+	}
+	copy(b[tcpStart+TCPHeaderLen:], s.Payload)
+	for i := EthHeaderLen + ipLen; i < frameLen; i++ {
+		b[i] = 0
+	}
+	FinishTCPChecksum(s.SrcIP, s.DstIP, b[tcpStart:tcpStart+TCPHeaderLen+len(s.Payload)])
+	return frameLen, nil
+}
+
+// ParseTCPFrame decodes an Ethernet/IPv4/TCP frame, verifying both
+// checksums, and returns the headers and payload.
+func ParseTCPFrame(frame []byte) (EthHeader, IPv4Header, TCPHeader, []byte, error) {
+	var eth EthHeader
+	var ip IPv4Header
+	var th TCPHeader
+	if err := eth.Unmarshal(frame); err != nil {
+		return eth, ip, th, nil, err
+	}
+	if eth.Type != EtherTypeIPv4 {
+		return eth, ip, th, nil, ErrBadVersion
+	}
+	ipb, err := EthPayload(frame)
+	if err != nil {
+		return eth, ip, th, nil, err
+	}
+	if err := ip.Unmarshal(ipb); err != nil {
+		return eth, ip, th, nil, err
+	}
+	if ip.Protocol != ProtoTCP {
+		return eth, ip, th, nil, ErrBadHeader
+	}
+	seg := ipb[IPv4HeaderLen:ip.TotalLen]
+	if !VerifyTCPChecksum(ip.Src, ip.Dst, seg) {
+		return eth, ip, th, nil, ErrBadChecksum
+	}
+	if err := th.Unmarshal(seg); err != nil {
+		return eth, ip, th, nil, err
+	}
+	return eth, ip, th, seg[TCPHeaderLen:], nil
+}

@@ -1,0 +1,276 @@
+package nic
+
+import (
+	"fmt"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// Config sizes a NIC.
+type Config struct {
+	// RxRing is the receive ring capacity (packets buffered by the
+	// interface before the host drains them). The paper notes that
+	// "modern network adapters can receive many back-to-back packets
+	// without host intervention"; 32 matches a LANCE-era DMA ring.
+	RxRing int
+	// TxRing is the number of transmit descriptors. A descriptor is
+	// consumed when a packet is handed to the hardware and only becomes
+	// reusable after driver code reclaims it — the dependency behind
+	// transmit starvation (§4.4, §6.6).
+	TxRing int
+}
+
+// DefaultConfig matches the simulated testbed.
+func DefaultConfig() Config { return Config{RxRing: 32, TxRing: 32} }
+
+// NIC is a simulated Ethernet interface. The kernel side attaches
+// interrupt callbacks and manipulates the rings; the wire side delivers
+// and accepts frames. All methods must be called from engine events.
+type NIC struct {
+	name string
+	eng  *sim.Engine
+	mac  netstack.MAC
+	cfg  Config
+	wire *Wire // output wire; nil for receive-only interfaces
+
+	// Receive side.
+	rxRing    []*netstack.Packet
+	rxHead    int
+	rxCount   int
+	rxEnabled bool
+	rxPending bool
+	onRxIntr  func()
+
+	// Transmit side. Descriptors: queued (awaiting wire) + inFlight +
+	// completed (awaiting reclaim) <= cfg.TxRing. Ownership of a frame
+	// passes to the wire when transmission finishes (the receiver gets
+	// "the copy on the wire"); reclaiming afterwards frees only the
+	// descriptor.
+	txQueue     []*netstack.Packet
+	txCompleted int
+	txInFlight  int
+	txEnabled   bool
+	txPending   bool
+	onTxIntr    func()
+
+	// Counters, named after the SNMP/netstat counters the paper samples.
+	InPkts     *stats.Counter // frames accepted into the rx ring
+	InDiscards *stats.Counter // frames dropped because the rx ring was full
+	OutPkts    *stats.Counter // frames fully transmitted ("Opkts", the measured output rate)
+
+	// OnRxAccept and OnRxDrop, if non-nil, observe ring admission for
+	// tracing. OnRxDrop fires before the dropped frame is released.
+	OnRxAccept func(*netstack.Packet)
+	OnRxDrop   func(*netstack.Packet)
+}
+
+// New returns a NIC. wire may be nil if the interface never transmits.
+func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire) *NIC {
+	if cfg.RxRing <= 0 || cfg.TxRing <= 0 {
+		panic("nic: ring sizes must be positive")
+	}
+	return &NIC{
+		name: name, eng: eng, mac: mac, cfg: cfg, wire: wire,
+		rxRing:     make([]*netstack.Packet, cfg.RxRing),
+		rxEnabled:  true,
+		txEnabled:  true,
+		InPkts:     stats.NewCounter(name + ".ipkts"),
+		InDiscards: stats.NewCounter(name + ".idiscards"),
+		OutPkts:    stats.NewCounter(name + ".opkts"),
+	}
+}
+
+// Name returns the interface name.
+func (n *NIC) Name() string { return n.name }
+
+// MAC returns the interface hardware address.
+func (n *NIC) MAC() netstack.MAC { return n.mac }
+
+// String identifies the NIC.
+func (n *NIC) String() string { return fmt.Sprintf("nic(%s)", n.name) }
+
+// --- receive side ---
+
+// SetRxInterrupt installs the receive-interrupt callback (the "interrupt
+// wire" into the CPU). The callback is invoked at most once per
+// assertion; the driver must call RxIntrDone when it has drained the
+// ring so a later arrival can assert again.
+func (n *NIC) SetRxInterrupt(fn func()) { n.onRxIntr = fn }
+
+// DeliverFrame implements Receiver: a frame has arrived from the wire.
+// If the ring is full the frame is dropped by the hardware at zero CPU
+// cost — the cheapest possible place to drop, as §6.4 emphasizes.
+func (n *NIC) DeliverFrame(p *netstack.Packet) {
+	if n.rxCount == n.cfg.RxRing {
+		n.InDiscards.Inc()
+		if n.OnRxDrop != nil {
+			n.OnRxDrop(p)
+		}
+		p.Release()
+		return
+	}
+	p.EnqueuedNIC = n.eng.Now()
+	n.rxRing[(n.rxHead+n.rxCount)%n.cfg.RxRing] = p
+	n.rxCount++
+	n.InPkts.Inc()
+	if n.OnRxAccept != nil {
+		n.OnRxAccept(p)
+	}
+	n.maybeRaiseRx()
+}
+
+func (n *NIC) maybeRaiseRx() {
+	if n.rxEnabled && !n.rxPending && n.rxCount > 0 && n.onRxIntr != nil {
+		n.rxPending = true
+		n.onRxIntr()
+	}
+}
+
+// RxPending reports whether a receive interrupt is asserted.
+func (n *NIC) RxPending() bool { return n.rxPending }
+
+// RxLen returns the receive-ring occupancy.
+func (n *NIC) RxLen() int { return n.rxCount }
+
+// TakeRx removes and returns the oldest received frame, or nil if the
+// ring is empty.
+func (n *NIC) TakeRx() *netstack.Packet {
+	if n.rxCount == 0 {
+		return nil
+	}
+	p := n.rxRing[n.rxHead]
+	n.rxRing[n.rxHead] = nil
+	n.rxHead = (n.rxHead + 1) % n.cfg.RxRing
+	n.rxCount--
+	return p
+}
+
+// RxIntrDone tells the NIC the driver has finished servicing the
+// current receive interrupt. If frames remain (or arrived meanwhile) and
+// interrupts are enabled, a new interrupt is asserted immediately.
+func (n *NIC) RxIntrDone() {
+	n.rxPending = false
+	n.maybeRaiseRx()
+}
+
+// EnableRxInterrupt sets the receive interrupt-enable flag. Enabling
+// with frames pending asserts an interrupt at once — the modified
+// kernel's drivers re-enable through this and immediately hear about any
+// backlog (§6.4).
+func (n *NIC) EnableRxInterrupt(on bool) {
+	n.rxEnabled = on
+	if on {
+		n.maybeRaiseRx()
+	}
+}
+
+// RxInterruptEnabled reports the receive interrupt-enable flag.
+func (n *NIC) RxInterruptEnabled() bool { return n.rxEnabled }
+
+// --- transmit side ---
+
+// SetTxInterrupt installs the transmit-complete interrupt callback.
+func (n *NIC) SetTxInterrupt(fn func()) { n.onTxIntr = fn }
+
+// TxDescriptorsFree returns the number of unused transmit descriptors.
+func (n *NIC) TxDescriptorsFree() int {
+	return n.cfg.TxRing - len(n.txQueue) - n.txInFlight - n.txCompleted
+}
+
+// StartTx hands a frame to the hardware for transmission. It returns
+// false (without consuming the frame) if no descriptor is free; the
+// caller decides whether to queue or drop.
+func (n *NIC) StartTx(p *netstack.Packet) bool {
+	if n.TxDescriptorsFree() == 0 {
+		return false
+	}
+	n.txQueue = append(n.txQueue, p)
+	n.kickTx()
+	return true
+}
+
+func (n *NIC) kickTx() {
+	if n.txInFlight > 0 || len(n.txQueue) == 0 {
+		return
+	}
+	if n.wire == nil {
+		panic("nic: transmit on interface without a wire")
+	}
+	p := n.txQueue[0]
+	n.txQueue = n.txQueue[1:]
+	n.txInFlight++
+	done := n.wire.Transmit(p)
+	n.eng.At(done, n.txDone)
+}
+
+func (n *NIC) txDone() {
+	n.txInFlight--
+	n.txCompleted++
+	n.OutPkts.Inc()
+	n.maybeRaiseTx()
+	n.kickTx()
+}
+
+func (n *NIC) maybeRaiseTx() {
+	if n.txEnabled && !n.txPending && n.txCompleted > 0 && n.onTxIntr != nil {
+		n.txPending = true
+		n.onTxIntr()
+	}
+}
+
+// TxCompletedLen returns how many transmit descriptors await reclaim.
+func (n *NIC) TxCompletedLen() int { return n.txCompleted }
+
+// ReclaimTx frees one completed transmit descriptor, reporting false if
+// none awaits reclaim. The frame itself was consumed by the wire when
+// transmission finished.
+func (n *NIC) ReclaimTx() bool {
+	if n.txCompleted == 0 {
+		return false
+	}
+	n.txCompleted--
+	return true
+}
+
+// TxIntrDone tells the NIC the driver finished servicing the transmit
+// interrupt; a new one is asserted if completions remain.
+func (n *NIC) TxIntrDone() {
+	n.txPending = false
+	n.maybeRaiseTx()
+}
+
+// EnableTxInterrupt sets the transmit interrupt-enable flag.
+func (n *NIC) EnableTxInterrupt(on bool) {
+	n.txEnabled = on
+	if on {
+		n.maybeRaiseTx()
+	}
+}
+
+// TxPending reports whether a transmit interrupt is asserted.
+func (n *NIC) TxPending() bool { return n.txPending }
+
+// Quiesced reports whether the NIC holds no packets and no unreclaimed
+// descriptors, used by teardown conservation checks.
+func (n *NIC) Quiesced() bool {
+	return n.rxCount == 0 && len(n.txQueue) == 0 && n.txInFlight == 0 && n.txCompleted == 0
+}
+
+// Drain releases every packet held in the rings and returns how many
+// were discarded. Only valid once the simulation has stopped.
+func (n *NIC) Drain() int {
+	count := 0
+	for p := n.TakeRx(); p != nil; p = n.TakeRx() {
+		p.Release()
+		count++
+	}
+	for _, p := range n.txQueue {
+		p.Release()
+		count++
+	}
+	n.txQueue = nil
+	n.txCompleted = 0
+	return count
+}

@@ -1,0 +1,80 @@
+// Package nic models the network interface hardware: receive rings that
+// drop when full, transmit descriptor rings that must be reclaimed by
+// driver code before they can be reused, per-direction interrupt-enable
+// flags, interrupt batching, and an Ethernet wire with serialization at
+// link rate. These are the structural elements the paper's pathologies
+// depend on: early drop at the interface, transmit starvation via
+// unreclaimed descriptors, and the interrupt-enable discipline of the
+// modified kernel.
+package nic
+
+import (
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+)
+
+// Receiver consumes frames delivered by a wire.
+type Receiver interface {
+	DeliverFrame(p *netstack.Packet)
+}
+
+// Standard 10 Mb/s Ethernet, as in the paper's testbed.
+const (
+	EthernetBitRate = 10_000_000
+	// MaxEthernetPPS is the maximum minimum-size frame rate:
+	// (60+4 bytes + 8 preamble + 9.6µs IFG) at 10 Mb/s ≈ 14,880 pkts/s,
+	// the figure quoted in §6.2.
+	MaxEthernetPPS = 14880
+)
+
+// Wire is a point-to-point Ethernet segment. Frames are serialized at
+// the link bit rate (including preamble, FCS and inter-frame gap) and
+// delivered after a propagation delay. Transmit attempts while the
+// carrier is busy defer, as CSMA senders do; only one transmitter per
+// wire exists in all experiments, so collisions never occur.
+type Wire struct {
+	eng       *sim.Engine
+	bitRate   int64
+	propDelay sim.Duration
+	dst       Receiver
+	busyUntil sim.Time
+
+	// Frames counts frames that finished transmission on the wire.
+	Frames uint64
+}
+
+// NewWire returns a wire to dst at bitRate bits/s with the given
+// propagation delay.
+func NewWire(eng *sim.Engine, dst Receiver, bitRate int64, propDelay sim.Duration) *Wire {
+	if bitRate <= 0 {
+		panic("nic: non-positive bit rate")
+	}
+	return &Wire{eng: eng, bitRate: bitRate, propDelay: propDelay, dst: dst}
+}
+
+// SerializationTime returns the time to put an n-byte frame on the wire,
+// including preamble, FCS and inter-frame gap.
+func (w *Wire) SerializationTime(n int) sim.Duration {
+	bits := int64(n)*8 + netstack.EthOverheadBits
+	return sim.Duration(bits * int64(sim.Second) / w.bitRate)
+}
+
+// Transmit starts sending p, deferring if the carrier is busy, and
+// returns the instant transmission will complete. Delivery to the
+// receiver occurs propagation-delay later.
+func (w *Wire) Transmit(p *netstack.Packet) sim.Time {
+	start := w.eng.Now()
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	done := start.Add(w.SerializationTime(p.Len()))
+	w.busyUntil = done
+	w.eng.At(done.Add(w.propDelay), func() {
+		w.Frames++
+		w.dst.DeliverFrame(p)
+	})
+	return done
+}
+
+// Busy reports whether a transmission is in progress.
+func (w *Wire) Busy() bool { return w.busyUntil > w.eng.Now() }

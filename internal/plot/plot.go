@@ -1,0 +1,159 @@
+// Package plot renders scatter plots as text, in the spirit of the
+// paper's figures: one mark glyph per series, auto-scaled axes, a
+// legend. It exists so `lkfigures -plot` can show the reproduced curves
+// directly in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) mark.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one curve: a label, a mark glyph, and its points.
+type Series struct {
+	Label string
+	Glyph rune
+	Marks []Point
+}
+
+// DefaultGlyphs are assigned to series without an explicit glyph,
+// echoing the paper's filled circles, open squares, diamonds, etc.
+var DefaultGlyphs = []rune{'o', '#', '+', 'x', '*', '@', '%'}
+
+// Scatter is a text scatter plot.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (default 72×24).
+	Width, Height int
+	// YMax forces the y-axis maximum; zero auto-scales.
+	YMax float64
+	// XMax forces the x-axis maximum; zero auto-scales.
+	XMax float64
+
+	Series []Series
+}
+
+// Add appends a series, assigning a default glyph if none is set.
+func (s *Scatter) Add(label string, pts []Point) {
+	glyph := DefaultGlyphs[len(s.Series)%len(DefaultGlyphs)]
+	s.Series = append(s.Series, Series{Label: label, Glyph: glyph, Marks: pts})
+}
+
+func (s *Scatter) bounds() (xmax, ymax float64) {
+	xmax, ymax = s.XMax, s.YMax
+	for _, series := range s.Series {
+		for _, p := range series.Marks {
+			if s.XMax == 0 && p.X > xmax {
+				xmax = p.X
+			}
+			if s.YMax == 0 && p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if xmax <= 0 {
+		xmax = 1
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	// Round the y maximum up to a tidy value so axis labels read well.
+	ymax = niceCeil(ymax)
+	xmax = niceCeil(xmax)
+	return xmax, ymax
+}
+
+// niceCeil rounds v up to a tidy multiple of a power of ten.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// Render draws the plot.
+func (s *Scatter) Render() string {
+	width, height := s.Width, s.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+	xmax, ymax := s.bounds()
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, series := range s.Series {
+		for _, p := range series.Marks {
+			col := int(math.Round(p.X / xmax * float64(width-1)))
+			row := int(math.Round(p.Y / ymax * float64(height-1)))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			r := height - 1 - row
+			if grid[r][col] != ' ' && grid[r][col] != series.Glyph {
+				grid[r][col] = '&' // overlapping series
+			} else {
+				grid[r][col] = series.Glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if s.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", s.YLabel)
+	}
+	const margin = 9
+	for i, row := range grid {
+		// Y-axis labels at the top, middle and bottom lines.
+		label := strings.Repeat(" ", margin-2)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*.0f", margin-2, ymax)
+		case (height - 1) / 2:
+			mid := ymax * float64(height-1-i) / float64(height-1)
+			label = fmt.Sprintf("%*.0f", margin-2, mid)
+		case height - 1:
+			label = fmt.Sprintf("%*.0f", margin-2, 0.0)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin-2), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s0%s%.0f\n", strings.Repeat(" ", margin),
+		strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", xmax))-1), xmax)
+	if s.XLabel != "" {
+		pad := (margin + width - len(s.XLabel)) / 2
+		if pad < 0 {
+			pad = 0
+		}
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", pad), s.XLabel)
+	}
+	for _, series := range s.Series {
+		fmt.Fprintf(&b, "  %c  %s\n", series.Glyph, series.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {1.1, 1.2}, {2.4, 2.5}, {3, 3}, {7, 8},
+		{4700, 5000}, {12000, 12000}, {9999, 10000}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if niceCeil(0) != 1 || niceCeil(-5) != 1 {
+		t.Error("niceCeil of non-positive should be 1")
+	}
+}
+
+func TestScatterRenderBasics(t *testing.T) {
+	s := &Scatter{
+		Title:  "Figure X",
+		XLabel: "input",
+		YLabel: "output",
+		Width:  40, Height: 10,
+	}
+	s.Add("lineA", []Point{{0, 0}, {5000, 2500}, {10000, 5000}})
+	s.Add("lineB", []Point{{0, 5000}, {10000, 5000}})
+	out := s.Render()
+	for _, want := range []string{"Figure X", "input", "output", "lineA", "lineB", "o", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The axis maximum must appear as a label.
+	if !strings.Contains(out, "5000") {
+		t.Fatalf("y max label missing:\n%s", out)
+	}
+}
+
+func TestScatterMarksLand(t *testing.T) {
+	s := &Scatter{Width: 21, Height: 11, XMax: 100, YMax: 100}
+	s.Add("pts", []Point{{0, 0}, {100, 100}, {50, 50}})
+	out := s.Render()
+	lines := strings.Split(out, "\n")
+	// Row 0 of the grid is y=100: glyph at the far right.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(gridLines) != 11 {
+		t.Fatalf("grid has %d rows", len(gridLines))
+	}
+	if gridLines[0][20] != 'o' {
+		t.Fatalf("(100,100) not at top right:\n%s", out)
+	}
+	if gridLines[10][0] != 'o' {
+		t.Fatalf("(0,0) not at bottom left:\n%s", out)
+	}
+	if gridLines[5][10] != 'o' {
+		t.Fatalf("(50,50) not at centre:\n%s", out)
+	}
+}
+
+func TestScatterOverlapGlyph(t *testing.T) {
+	s := &Scatter{Width: 11, Height: 5, XMax: 10, YMax: 10}
+	s.Add("a", []Point{{5, 5}})
+	s.Add("b", []Point{{5, 5}})
+	out := s.Render()
+	if !strings.Contains(out, "&") {
+		t.Fatalf("overlapping marks not flagged:\n%s", out)
+	}
+}
+
+func TestScatterEmptySeries(t *testing.T) {
+	s := &Scatter{}
+	s.Add("empty", nil)
+	if out := s.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestScatterOutOfRangeClipped(t *testing.T) {
+	s := &Scatter{Width: 11, Height: 5, XMax: 10, YMax: 10}
+	s.Add("a", []Point{{50, 50}, {-1, -1}, {5, 5}})
+	out := s.Render() // must not panic; in-range point still drawn
+	if !strings.Contains(out, "o") {
+		t.Fatalf("in-range point missing:\n%s", out)
+	}
+}

@@ -1,0 +1,138 @@
+package queue
+
+import (
+	"math"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// REDParams configure Random Early Detection (Floyd & Jacobson, 1993 —
+// reference [3] of the paper, cited in §8: "The policy was and remains
+// 'drop-tail'; other policies might provide better results"). RED drops
+// arriving packets probabilistically once the *average* queue length
+// exceeds MinTh, keeping standing queues (and thus latency) short while
+// absorbing bursts.
+type REDParams struct {
+	// MinTh and MaxTh are the average-occupancy thresholds (packets).
+	MinTh, MaxTh float64
+	// MaxP is the drop probability as the average reaches MaxTh.
+	MaxP float64
+	// Wq is the EWMA weight for the average queue length (typ. 0.002;
+	// we default higher because simulated trials are short).
+	Wq float64
+	// MeanPktTime estimates the transmission time of one packet, used
+	// to age the average across idle periods.
+	MeanPktTime sim.Duration
+}
+
+// DefaultREDParams returns parameters scaled to a queue capacity.
+func DefaultREDParams(capacity int) REDParams {
+	return REDParams{
+		MinTh:       float64(capacity) / 6,
+		MaxTh:       float64(capacity) / 2,
+		MaxP:        0.1,
+		Wq:          0.02,
+		MeanPktTime: 70 * sim.Microsecond, // minimum Ethernet frame
+	}
+}
+
+// RED wraps a Queue with Random Early Detection admission. Dequeue and
+// inspection go through the embedded queue; arrivals must use
+// RED.Enqueue.
+type RED struct {
+	*Queue
+	p   REDParams
+	rng *sim.RNG
+
+	avg       float64
+	count     int // packets since the last early drop
+	emptyAt   sim.Time
+	wasEmpty  bool
+	clockFunc func() sim.Time
+
+	// EarlyDrops counts probabilistic (pre-full) drops; forced tail
+	// drops continue to count in Queue.Drops.
+	EarlyDrops *stats.Counter
+}
+
+// NewRED returns a RED-managed queue.
+func NewRED(name string, limit int, clock func() sim.Time, rng *sim.RNG, p REDParams) *RED {
+	if p.MaxTh <= p.MinTh || p.MinTh < 0 || p.MaxP <= 0 || p.MaxP > 1 ||
+		p.Wq <= 0 || p.Wq > 1 {
+		panic("queue: invalid RED parameters")
+	}
+	return &RED{
+		Queue:      New(name, limit, clock),
+		p:          p,
+		rng:        rng,
+		wasEmpty:   true,
+		clockFunc:  clock,
+		EarlyDrops: stats.NewCounter(name + ".earlydrops"),
+	}
+}
+
+// Avg returns the current average queue estimate.
+func (r *RED) Avg() float64 { return r.avg }
+
+// Enqueue applies the RED admission test and then enqueues. It returns
+// false if the packet was dropped (early or tail); the caller releases
+// it either way, exactly as with Queue.Enqueue.
+func (r *RED) Enqueue(pkt *netstack.Packet) bool {
+	r.updateAvg()
+	switch {
+	case r.avg < r.p.MinTh:
+		r.count = -1
+	case r.avg >= r.p.MaxTh:
+		r.EarlyDrops.Inc()
+		r.count = 0
+		return false
+	default:
+		r.count++
+		pb := r.p.MaxP * (r.avg - r.p.MinTh) / (r.p.MaxTh - r.p.MinTh)
+		// Spread drops uniformly within a round (Floyd & Jacobson
+		// eqn. for pa).
+		pa := pb
+		if d := 1 - float64(r.count)*pb; d > 0 {
+			pa = pb / d
+		} else {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.EarlyDrops.Inc()
+			r.count = 0
+			return false
+		}
+	}
+	ok := r.Queue.Enqueue(pkt)
+	if ok {
+		r.wasEmpty = false
+	}
+	return ok
+}
+
+// Dequeue removes the oldest packet, tracking idle-start for average
+// aging.
+func (r *RED) Dequeue() *netstack.Packet {
+	pkt := r.Queue.Dequeue()
+	if r.Queue.Empty() && !r.wasEmpty {
+		r.wasEmpty = true
+		r.emptyAt = r.clockFunc()
+	}
+	return pkt
+}
+
+// updateAvg advances the EWMA, aging it across idle time as if m small
+// packets had been transmitted (Floyd & Jacobson §4).
+func (r *RED) updateAvg() {
+	if r.wasEmpty && r.Queue.Empty() {
+		idle := r.clockFunc().Sub(r.emptyAt)
+		if r.p.MeanPktTime > 0 && idle > 0 {
+			m := float64(idle) / float64(r.p.MeanPktTime)
+			r.avg *= math.Pow(1-r.p.Wq, m)
+		}
+		r.emptyAt = r.clockFunc()
+	}
+	r.avg = (1-r.p.Wq)*r.avg + r.p.Wq*float64(r.Queue.Len())
+}

@@ -1,0 +1,128 @@
+package queue
+
+import (
+	"testing"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+)
+
+func newRED(capacity int, p REDParams) (*RED, *sim.Time) {
+	var now sim.Time
+	return NewRED("red", capacity, func() sim.Time { return now }, sim.NewRNG(1), p), &now
+}
+
+func TestREDNeverDropsBelowMinTh(t *testing.T) {
+	p := REDParams{MinTh: 10, MaxTh: 20, MaxP: 0.5, Wq: 0.5, MeanPktTime: 70 * sim.Microsecond}
+	q, now := newRED(32, p)
+	for i := 0; i < 1000; i++ {
+		*now += sim.Time(100 * sim.Microsecond)
+		if !q.Enqueue(&netstack.Packet{ID: uint64(i)}) {
+			t.Fatalf("drop at iteration %d with avg %.2f below MinTh", i, q.Avg())
+		}
+		if q.Dequeue() == nil {
+			t.Fatal("dequeue failed")
+		}
+	}
+	if q.EarlyDrops.Value() != 0 {
+		t.Fatalf("EarlyDrops = %d with queue never above MinTh", q.EarlyDrops.Value())
+	}
+}
+
+func TestREDAlwaysDropsAboveMaxTh(t *testing.T) {
+	p := REDParams{MinTh: 2, MaxTh: 6, MaxP: 0.5, Wq: 1, MeanPktTime: 70 * sim.Microsecond}
+	q, now := newRED(32, p)
+	// Fill without draining: with Wq=1 the average tracks the
+	// instantaneous length exactly.
+	accepted := 0
+	for i := 0; i < 30; i++ {
+		*now += sim.Time(10 * sim.Microsecond)
+		if q.Enqueue(&netstack.Packet{ID: uint64(i)}) {
+			accepted++
+		}
+	}
+	// Once length (= avg) reaches MaxTh, every arrival is dropped.
+	if q.Len() > int(p.MaxTh)+1 {
+		t.Fatalf("queue grew to %d, above MaxTh %v", q.Len(), p.MaxTh)
+	}
+	if q.EarlyDrops.Value() == 0 {
+		t.Fatal("no early drops above MaxTh")
+	}
+}
+
+func TestREDProbabilisticRegionDropsSome(t *testing.T) {
+	p := REDParams{MinTh: 4, MaxTh: 100, MaxP: 0.3, Wq: 1, MeanPktTime: 70 * sim.Microsecond}
+	q, now := newRED(256, p)
+	accepted, dropped := 0, 0
+	// Hold occupancy around 10 (between thresholds) and offer many
+	// arrivals.
+	for i := 0; i < 2000; i++ {
+		*now += sim.Time(10 * sim.Microsecond)
+		if q.Enqueue(&netstack.Packet{ID: uint64(i)}) {
+			accepted++
+		} else {
+			dropped++
+		}
+		if q.Len() > 10 {
+			q.Dequeue()
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no probabilistic drops between thresholds")
+	}
+	if accepted == 0 {
+		t.Fatal("everything dropped between thresholds")
+	}
+	frac := float64(dropped) / float64(accepted+dropped)
+	if frac > 0.5 {
+		t.Fatalf("drop fraction %.2f too aggressive for this region", frac)
+	}
+}
+
+func TestREDIdleAgingDecaysAverage(t *testing.T) {
+	p := REDParams{MinTh: 2, MaxTh: 8, MaxP: 0.5, Wq: 0.5, MeanPktTime: 100 * sim.Microsecond}
+	q, now := newRED(32, p)
+	for i := 0; i < 8; i++ {
+		q.Enqueue(&netstack.Packet{ID: uint64(i)})
+	}
+	for q.Dequeue() != nil {
+	}
+	highAvg := q.Avg()
+	// A long idle period must decay the average toward zero.
+	*now += sim.Time(100 * sim.Millisecond)
+	q.Enqueue(&netstack.Packet{ID: 99})
+	if q.Avg() >= highAvg/2 {
+		t.Fatalf("avg %.3f did not decay from %.3f across idle period", q.Avg(), highAvg)
+	}
+}
+
+func TestREDInvalidParamsPanic(t *testing.T) {
+	bad := []REDParams{
+		{MinTh: 5, MaxTh: 5, MaxP: 0.1, Wq: 0.1},
+		{MinTh: -1, MaxTh: 5, MaxP: 0.1, Wq: 0.1},
+		{MinTh: 1, MaxTh: 5, MaxP: 0, Wq: 0.1},
+		{MinTh: 1, MaxTh: 5, MaxP: 1.5, Wq: 0.1},
+		{MinTh: 1, MaxTh: 5, MaxP: 0.1, Wq: 0},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("params %d did not panic", i)
+				}
+			}()
+			newRED(16, p)
+		}()
+	}
+}
+
+func TestDefaultREDParamsValid(t *testing.T) {
+	p := DefaultREDParams(50)
+	q, _ := newRED(50, p)
+	if q == nil {
+		t.Fatal("nil queue")
+	}
+	if p.MinTh >= p.MaxTh {
+		t.Fatal("default thresholds inverted")
+	}
+}

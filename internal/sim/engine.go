@@ -1,0 +1,199 @@
+package sim
+
+import "fmt"
+
+// Event is a scheduled callback. The zero Event is not valid; events are
+// created by Engine.At and Engine.After and may be cancelled with
+// Event.Cancel until they fire.
+type Event struct {
+	when  Time
+	seq   uint64 // FIFO tie-break for events at the same instant
+	index int    // position in the heap, -1 when not queued
+	fn    func()
+}
+
+// When returns the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Pending reports whether the event is still queued (not yet fired and
+// not cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Engine is a discrete-event simulator. It is not safe for concurrent
+// use; a simulation is a single-threaded, deterministic computation.
+type Engine struct {
+	now     Time
+	heap    []*Event
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at instant t. Scheduling in the past panics:
+// a discrete-event simulation must never move the clock backwards, and a
+// past timestamp always indicates a bug in the caller.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative d
+// panics, as with At.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, so callers can unconditionally cancel stored handles.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	e.remove(ev)
+	ev.fn = nil
+}
+
+// Step fires the next pending event. It reports false if no events
+// remain.
+func (e *Engine) Step() bool {
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// Run fires events in order until the clock would pass `until`, then sets
+// the clock to exactly `until`. Events scheduled at `until` itself are
+// fired. Run returns the number of events fired.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.when > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunFor advances the simulation by d. See Run.
+func (e *Engine) RunFor(d Duration) uint64 { return e.Run(e.now.Add(d)) }
+
+// Stop makes the innermost Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// --- binary heap keyed by (when, seq) ---
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) peek() *Event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+func (e *Engine) pop() *Event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	ev := e.heap[0]
+	e.remove(ev)
+	return ev
+}
+
+func (e *Engine) remove(ev *Event) {
+	i := ev.index
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i != last && i < len(e.heap) {
+		e.down(i)
+		e.up(i)
+	}
+	ev.index = -1
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && e.less(right, left) {
+			smallest = right
+		}
+		if !e.less(smallest, i) {
+			break
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}

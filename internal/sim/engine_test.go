@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	times := []Time{50, 10, 30, 20, 40, 10, 10}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run(100)
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v (order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToUntil(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v after Run(100), want 100", e.Now())
+	}
+}
+
+func TestEngineEventAtUntilFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.Run(100)
+	if !fired {
+		t.Fatal("event scheduled exactly at the Run boundary did not fire")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.At(10, func() { fired++ })
+	keep := e.At(20, func() { fired++ })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (cancelled event must not run)", fired)
+	}
+	if keep.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+	e.Cancel(keep) // cancelling a fired event is a no-op
+}
+
+func TestEngineCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var victim *Event
+	e.At(5, func() { e.Cancel(victim) })
+	victim = e.At(10, func() { fired++ })
+	e.Run(100)
+	if fired != 0 {
+		t.Fatal("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestEngineScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(10, func() {
+		e.After(5, func() { got = append(got, e.Now()) })
+		e.At(e.Now(), func() { got = append(got, e.Now()) }) // same instant: runs next
+	})
+	e.Run(100)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got fire times %v, want [10 15]", got)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	// A subsequent Run resumes.
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("fired = %d after resumed Run, want 2", fired)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestEngineHeapProperty(t *testing.T) {
+	// Property: for any sequence of schedule/cancel operations, events
+	// fire in non-decreasing time order.
+	check := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		var fired []Time
+		var evs []*Event
+		for _, ti := range times {
+			at := Time(ti)
+			evs = append(evs, e.At(at, func() { fired = append(fired, at) }))
+		}
+		for i, ev := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(ev)
+			}
+		}
+		e.Run(Time(math.MaxUint16) + 1)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		// Count survivors.
+		want := 0
+		for i := range evs {
+			if !(i < len(cancelMask) && cancelMask[i]) {
+				want++
+			}
+		}
+		return len(fired) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginePendingCount(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", e.Pending())
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	if got := PerSecond(1000); got != Millisecond {
+		t.Fatalf("PerSecond(1000) = %v, want 1ms", got)
+	}
+	if got := PerSecond(0); got != 0 {
+		t.Fatalf("PerSecond(0) = %v, want 0", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xorshift64*). Simulations must draw all randomness from an RNG seeded
+// at construction so that runs are reproducible; math/rand global state is
+// deliberately avoided.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to
+// a fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// used for Poisson arrival processes. A non-positive mean returns 0.
+func (r *RNG) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// 1-u is in (0, 1], so the log is finite.
+	return Duration(-math.Log(1-u) * float64(mean))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]. Fraction f
+// is clamped to [0, 1].
+func (r *RNG) Jitter(d Duration, f float64) Duration {
+	if f <= 0 {
+		return d
+	}
+	if f > 1 {
+		f = 1
+	}
+	scale := 1 + f*(2*r.Float64()-1)
+	return Duration(float64(d) * scale)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently-seeded RNGs produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced the all-zero fixed point")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(13)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(10) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(17)
+	mean := 100 * Microsecond
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := r.Exp(mean)
+		if d < 0 {
+			t.Fatalf("Exp returned negative duration %v", d)
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.03*float64(mean) {
+		t.Fatalf("Exp mean = %v, want ~%v", Duration(got), mean)
+	}
+}
+
+func TestRNGExpNonPositiveMean(t *testing.T) {
+	r := NewRNG(1)
+	if r.Exp(0) != 0 || r.Exp(-5) != 0 {
+		t.Fatal("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(23)
+	base := 100 * Microsecond
+	for i := 0; i < 10000; i++ {
+		d := r.Jitter(base, 0.25)
+		if d < 75*Microsecond || d > 125*Microsecond {
+			t.Fatalf("Jitter(100µs, 0.25) = %v outside [75µs,125µs]", d)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("Jitter with zero fraction altered duration")
+	}
+}

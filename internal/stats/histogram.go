@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"livelock/internal/sim"
+)
+
+// Histogram accumulates durations (e.g. packet latencies) into
+// logarithmically spaced buckets and answers quantile queries. Buckets
+// span 1ns to ~1000s with a fixed number of sub-buckets per decade, which
+// keeps quantile error under ~12% while using constant memory.
+type Histogram struct {
+	name    string
+	counts  []uint64
+	n       uint64
+	sum     float64
+	min     sim.Duration
+	max     sim.Duration
+	perDec  int
+	decades int
+}
+
+const (
+	histSubBuckets = 20 // per decade
+	histDecades    = 12 // 1ns .. 1000s
+)
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{
+		name:    name,
+		counts:  make([]uint64, histSubBuckets*histDecades+1),
+		min:     math.MaxInt64,
+		perDec:  histSubBuckets,
+		decades: histDecades,
+	}
+}
+
+// Name returns the histogram's name.
+func (h *Histogram) Name() string { return h.name }
+
+func (h *Histogram) bucket(d sim.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	idx := int(math.Log10(float64(d)) * float64(h.perDec))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func (h *Histogram) bucketUpper(i int) sim.Duration {
+	return sim.Duration(math.Pow(10, float64(i+1)/float64(h.perDec)))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Duration) {
+	h.counts[h.bucket(d)]++
+	h.n++
+	h.sum += float64(d)
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(h.n))
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (h *Histogram) Min() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) based
+// on bucket boundaries. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			u := h.bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return fmt.Sprintf("%s: no samples", h.name)
+	}
+	return fmt.Sprintf("%s: n=%d min=%v mean=%v p50=%v p99=%v max=%v",
+		h.name, h.n, h.Min(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Render returns a multi-line ASCII bar rendering of the non-empty
+// buckets, for trace/debug output.
+func (h *Histogram) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", h.String())
+	if h.n == 0 {
+		return b.String()
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(float64(c) / float64(peak) * 40)
+		fmt.Fprintf(&b, "  <=%-12v %8d %s\n", h.bucketUpper(i), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

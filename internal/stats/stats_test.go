@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"livelock/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("pkts")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	if c.Name() != "pkts" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.String() != "pkts=5" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	c := NewCounter("x")
+	m := NewRateMeter(c, 0)
+	c.Add(1000)
+	got := m.Sample(sim.Time(2 * sim.Second))
+	if math.Abs(got-500) > 1e-9 {
+		t.Fatalf("rate = %v, want 500", got)
+	}
+	// Second window: 300 more events over 1s.
+	c.Add(300)
+	got = m.Sample(sim.Time(3 * sim.Second))
+	if math.Abs(got-300) > 1e-9 {
+		t.Fatalf("rate = %v, want 300", got)
+	}
+}
+
+func TestRateMeterZeroInterval(t *testing.T) {
+	c := NewCounter("x")
+	m := NewRateMeter(c, 0)
+	c.Add(10)
+	if got := m.Sample(0); got != 0 {
+		t.Fatalf("zero-interval rate = %v, want 0", got)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	w := NewTimeWeighted(0, 0)
+	w.Set(sim.Time(1*sim.Second), 10) // value 0 for 1s
+	w.Set(sim.Time(3*sim.Second), 0)  // value 10 for 2s
+	// Mean over 4s: (0*1 + 10*2 + 0*1)/4 = 5
+	got := w.Mean(sim.Time(4 * sim.Second))
+	if math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if w.Max() != 10 {
+		t.Fatalf("Max = %v, want 10", w.Max())
+	}
+	if w.Value() != 0 {
+		t.Fatalf("Value = %v, want 0", w.Value())
+	}
+}
+
+func TestTimeWeightedNoElapsed(t *testing.T) {
+	w := NewTimeWeighted(5, 7)
+	if got := w.Mean(5); got != 7 {
+		t.Fatalf("Mean with no elapsed time = %v, want current value 7", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != sim.Microsecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != 100*sim.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 48*sim.Microsecond || mean > 53*sim.Microsecond {
+		t.Fatalf("Mean = %v, want ~50.5µs", mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram("lat")
+	for i := 1; i <= 10000; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * 10000 * float64(sim.Microsecond)
+		if got < want*0.95 || got > want*1.2 {
+			t.Errorf("Quantile(%v) = %v, want within [0.95,1.2]× of %v",
+				q, sim.Duration(got), sim.Duration(want))
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	// Property: quantiles are monotone in q and bounded by min/max.
+	check := func(raw []uint32) bool {
+		h := NewHistogram("p")
+		for _, v := range raw {
+			h.Observe(sim.Duration(v%1000000) + 1)
+		}
+		if len(raw) == 0 {
+			return h.Quantile(0.5) == 0
+		}
+		prev := sim.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := h.Quantile(q)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram("lat")
+	h.Observe(10 * sim.Microsecond)
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Fatal("out-of-range q should clamp, not return 0")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram("lat")
+	if s := h.Render(); s == "" {
+		t.Fatal("empty render")
+	}
+	h.Observe(5 * sim.Microsecond)
+	h.Observe(5 * sim.Microsecond)
+	h.Observe(7 * sim.Millisecond)
+	s := h.Render()
+	if s == "" {
+		t.Fatal("render of populated histogram is empty")
+	}
+}

@@ -1,0 +1,93 @@
+// Package trace provides a bounded, allocation-light event tracer for
+// packet lifecycles: each record is (simulated time, event, packet id).
+// The kernel emits records at every decision point — ring accept/drop,
+// queue enqueue/drop, forwarding, screening, transmit — so a short
+// traced run shows exactly where a given packet spent time or died.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"livelock/internal/sim"
+)
+
+// Record is one trace event.
+type Record struct {
+	At    sim.Time
+	Event string
+	Pkt   uint64
+}
+
+// String formats the record.
+func (r Record) String() string {
+	return fmt.Sprintf("%12v  pkt#%-8d %s", r.At, r.Pkt, r.Event)
+}
+
+// Tracer is a fixed-capacity ring of records: the most recent capacity
+// events are retained.
+type Tracer struct {
+	buf   []Record
+	next  int
+	total uint64
+}
+
+// New returns a tracer retaining the last capacity records.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Tracer{buf: make([]Record, 0, capacity)}
+}
+
+// Emit records an event.
+func (t *Tracer) Emit(at sim.Time, event string, pkt uint64) {
+	r := Record{At: at, Event: event, Pkt: pkt}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, r)
+	} else {
+		t.buf[t.next] = r
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+}
+
+// Total returns the number of events emitted (including evicted ones).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Records returns the retained records, oldest first.
+func (t *Tracer) Records() []Record {
+	if len(t.buf) < cap(t.buf) {
+		out := make([]Record, len(t.buf))
+		copy(out, t.buf)
+		return out
+	}
+	out := make([]Record, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Filter returns retained records for one packet id, oldest first.
+func (t *Tracer) Filter(pkt uint64) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Pkt == pkt {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the retained records; it implements io.WriterTo.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, r := range t.Records() {
+		m, err := fmt.Fprintln(w, r)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"livelock/internal/sim"
+)
+
+func TestTracerRetainsInOrder(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 3; i++ {
+		tr.Emit(sim.Time(i), "ev", uint64(i))
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Pkt != uint64(i) {
+			t.Fatalf("out of order: %v", recs)
+		}
+	}
+}
+
+func TestTracerEvictsOldest(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, "ev", uint64(i))
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	want := []uint64{7, 8, 9}
+	for i, r := range recs {
+		if r.Pkt != want[i] {
+			t.Fatalf("records = %v, want pkts %v", recs, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	tr := New(10)
+	tr.Emit(0, "a", 1)
+	tr.Emit(1, "b", 2)
+	tr.Emit(2, "c", 1)
+	got := tr.Filter(1)
+	if len(got) != 2 || got[0].Event != "a" || got[1].Event != "c" {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestTracerWriteTo(t *testing.T) {
+	tr := New(4)
+	tr.Emit(1500, "rx-ring", 7)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pkt#7") || !strings.Contains(buf.String(), "rx-ring") {
+		t.Fatalf("output %q", buf.String())
+	}
+}
+
+func TestTracerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	New(0)
+}

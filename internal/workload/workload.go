@@ -1,0 +1,299 @@
+// Package workload generates offered load: streams of real UDP/IPv4
+// Ethernet frames paced by pluggable arrival processes. The paper's
+// source host sent 10,000 4-byte UDP packets per trial at a roughly
+// constant (but not precisely paced) rate; ConstantRate with a small
+// jitter fraction reproduces that, and Poisson and on/off burst sources
+// cover the transient-overload scenarios of §9.
+package workload
+
+import (
+	"livelock/internal/netstack"
+	"livelock/internal/nic"
+	"livelock/internal/sim"
+	"livelock/internal/stats"
+)
+
+// Arrival is an arrival process: it yields successive inter-arrival
+// times.
+type Arrival interface {
+	// Next returns the gap before the next packet. Returning a
+	// non-positive duration sends back-to-back at wire speed.
+	Next(rng *sim.RNG) sim.Duration
+}
+
+// ConstantRate emits packets at Rate packets/second with a uniform
+// jitter of ±JitterFrac around the nominal interval ("this system does
+// not generate a precisely paced stream of packets", §6.1). A
+// non-positive rate emits nothing.
+type ConstantRate struct {
+	Rate       float64
+	JitterFrac float64
+}
+
+// Next implements Arrival.
+func (c ConstantRate) Next(rng *sim.RNG) sim.Duration {
+	if c.Rate <= 0 {
+		return idleGap
+	}
+	return rng.Jitter(sim.PerSecond(c.Rate), c.JitterFrac)
+}
+
+// idleGap is the polling interval used by arrival processes when their
+// configured rate is non-positive: effectively "no traffic" while
+// keeping the event loop finite.
+const idleGap = sim.Duration(1 << 62)
+
+// Poisson emits packets with exponentially distributed gaps at the given
+// mean rate.
+type Poisson struct {
+	Rate float64
+}
+
+// Next implements Arrival.
+func (p Poisson) Next(rng *sim.RNG) sim.Duration {
+	if p.Rate <= 0 {
+		return idleGap
+	}
+	return rng.Exp(sim.PerSecond(p.Rate))
+}
+
+// Burst is an on/off source: during a burst it emits at PeakRate for On,
+// then stays silent for Off. This models the short-term bursty arrivals
+// that cause transient overload (§9) and the burst-latency effect of
+// §4.3.
+type Burst struct {
+	PeakRate float64
+	On       sim.Duration
+	Off      sim.Duration
+
+	elapsed sim.Duration
+}
+
+// Next implements Arrival.
+func (b *Burst) Next(rng *sim.RNG) sim.Duration {
+	if b.PeakRate <= 0 {
+		return idleGap
+	}
+	gap := sim.PerSecond(b.PeakRate)
+	b.elapsed += gap
+	if b.elapsed >= b.On {
+		b.elapsed = 0
+		return gap + b.Off
+	}
+	return gap
+}
+
+// Config describes the traffic a Generator offers.
+type Config struct {
+	Arrival Arrival
+	// SrcMAC/DstMAC are the Ethernet addresses (DstMAC is the router's
+	// input interface).
+	SrcMAC, DstMAC netstack.MAC
+	// SrcIP/DstIP address the UDP flow; DstIP is the phantom
+	// destination beyond the router.
+	SrcIP, DstIP netstack.Addr
+	// SrcPort/DstPort are the UDP ports.
+	SrcPort, DstPort uint16
+	// PayloadBytes is the UDP payload size (paper: 4 bytes, giving
+	// minimum-size frames).
+	PayloadBytes int
+	// SizeMix, if non-empty, overrides PayloadBytes with a weighted
+	// payload-size distribution (e.g. an IMIX), sampled per datagram.
+	SizeMix []SizeWeight
+	// MaxPackets stops the source after this many packets; zero means
+	// unlimited.
+	MaxPackets uint64
+}
+
+// SizeWeight is one element of a payload-size distribution.
+type SizeWeight struct {
+	Bytes  int
+	Weight float64
+}
+
+// IMIX is the classic simple Internet mix: 7:4:1 small/medium/large
+// datagrams, expressed as UDP payload sizes for 64/576/1500-byte IP
+// frames.
+func IMIX() []SizeWeight {
+	return []SizeWeight{
+		{Bytes: 4, Weight: 7},    // minimum frames
+		{Bytes: 548, Weight: 4},  // 576-byte IP datagrams
+		{Bytes: 1472, Weight: 1}, // full-MTU frames
+	}
+}
+
+// Generator paces frames onto a wire toward the router's input NIC.
+type Generator struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	wire *nic.Wire
+	pool *netstack.Pool
+	cfg  Config
+
+	running        bool
+	nextID         uint64
+	ipid           uint16
+	payload        []byte
+	scratch        []byte // pre-fragmentation build buffer for large datagrams
+	scratchPayload []byte // reusable buffer for size-mix payloads
+
+	// Sent counts frames handed to the wire (the offered load);
+	// Datagrams counts logical datagrams (== Sent unless fragmenting);
+	// PoolDrops counts sends skipped because the buffer pool was
+	// exhausted.
+	Sent      *stats.Counter
+	Datagrams *stats.Counter
+	PoolDrops *stats.Counter
+}
+
+// NewGenerator returns a stopped generator.
+func NewGenerator(eng *sim.Engine, rng *sim.RNG, wire *nic.Wire, pool *netstack.Pool, cfg Config) *Generator {
+	if cfg.Arrival == nil {
+		panic("workload: nil arrival process")
+	}
+	return &Generator{
+		eng: eng, rng: rng, wire: wire, pool: pool, cfg: cfg,
+		payload:   make([]byte, cfg.PayloadBytes),
+		Sent:      stats.NewCounter("gen.sent"),
+		Datagrams: stats.NewCounter("gen.datagrams"),
+		PoolDrops: stats.NewCounter("gen.pooldrops"),
+	}
+}
+
+// Start begins generation. The first packet is sent after one
+// inter-arrival gap.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.scheduleNext()
+}
+
+// Stop halts generation after any packet already scheduled.
+func (g *Generator) Stop() { g.running = false }
+
+func (g *Generator) scheduleNext() {
+	if !g.running {
+		return
+	}
+	if g.cfg.MaxPackets > 0 && g.Sent.Value() >= g.cfg.MaxPackets {
+		g.running = false
+		return
+	}
+	gap := g.cfg.Arrival.Next(g.rng)
+	if gap < 0 {
+		gap = 0
+	}
+	g.eng.After(gap, g.emit)
+}
+
+func (g *Generator) emit() {
+	if !g.running {
+		return
+	}
+	g.sendOne()
+	g.scheduleNext()
+}
+
+// pickPayload samples the configured size distribution, or returns the
+// fixed payload.
+func (g *Generator) pickPayload() []byte {
+	if len(g.cfg.SizeMix) == 0 {
+		return g.payload
+	}
+	total := 0.0
+	for _, sw := range g.cfg.SizeMix {
+		total += sw.Weight
+	}
+	x := g.rng.Float64() * total
+	for _, sw := range g.cfg.SizeMix {
+		if x < sw.Weight {
+			if len(g.scratchPayload) < sw.Bytes {
+				g.scratchPayload = make([]byte, sw.Bytes)
+			}
+			return g.scratchPayload[:sw.Bytes]
+		}
+		x -= sw.Weight
+	}
+	last := g.cfg.SizeMix[len(g.cfg.SizeMix)-1]
+	if len(g.scratchPayload) < last.Bytes {
+		g.scratchPayload = make([]byte, last.Bytes)
+	}
+	return g.scratchPayload[:last.Bytes]
+}
+
+func (g *Generator) sendOne() {
+	spec := netstack.FrameSpec{
+		SrcMAC: g.cfg.SrcMAC, DstMAC: g.cfg.DstMAC,
+		SrcIP: g.cfg.SrcIP, DstIP: g.cfg.DstIP,
+		SrcPort: g.cfg.SrcPort, DstPort: g.cfg.DstPort,
+		IPID:    g.ipid,
+		Payload: g.pickPayload(),
+		// The paper's packets carry 4 bytes of UDP data; checksum on.
+		UDPChecksum: true,
+	}
+	g.ipid++
+	if spec.FrameLen() > netstack.EthMaxFrame {
+		g.sendFragmented(&spec)
+		return
+	}
+	p := g.pool.Get(spec.FrameLen())
+	if p == nil {
+		g.PoolDrops.Inc()
+		return
+	}
+	if _, err := netstack.BuildUDPFrame(p.Data, &spec); err != nil {
+		// Impossible by construction: the buffer was sized by FrameLen.
+		panic(err)
+	}
+	g.nextID++
+	p.ID = g.nextID
+	p.Born = g.eng.Now()
+	g.wire.Transmit(p)
+	g.Sent.Inc()
+	g.Datagrams.Inc()
+}
+
+// sendFragmented performs source-host IP fragmentation: the datagram is
+// built whole, split at the Ethernet MTU, and each fragment transmitted
+// as an independent frame.
+func (g *Generator) sendFragmented(spec *netstack.FrameSpec) {
+	if len(g.scratch) < spec.FrameLen() {
+		g.scratch = make([]byte, spec.FrameLen())
+	}
+	n, err := netstack.BuildUDPFrame(g.scratch, spec)
+	if err != nil {
+		panic(err)
+	}
+	var pkts []*netstack.Packet
+	alloc := func(size int) []byte {
+		p := g.pool.Get(size)
+		if p == nil {
+			return nil
+		}
+		pkts = append(pkts, p)
+		return p.Data
+	}
+	frags, err := netstack.FragmentFrame(g.scratch[:n], netstack.EthMTU, alloc)
+	if err != nil {
+		panic(err)
+	}
+	if frags == nil {
+		// Pool exhausted part-way: abandon the whole datagram.
+		for _, p := range pkts {
+			p.Release()
+		}
+		g.PoolDrops.Inc()
+		return
+	}
+	now := g.eng.Now()
+	for _, p := range pkts {
+		g.nextID++
+		p.ID = g.nextID
+		p.Born = now
+		g.wire.Transmit(p)
+		g.Sent.Inc()
+	}
+	g.Datagrams.Inc()
+}
