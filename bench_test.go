@@ -16,6 +16,7 @@ package livelock
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"livelock/internal/cpu"
@@ -27,7 +28,10 @@ import (
 )
 
 // benchOpts keeps figure benches fast while preserving the shapes: a
-// coarser rate axis and a 1.5 s measurement window per point.
+// coarser rate axis and a 1.5 s measurement window per point. Figure
+// sweeps go through the parallel trial executor (all cores, the
+// default), which changes wall-clock but not results — every worker
+// count produces bit-identical figures.
 var benchOpts = Options{
 	Rates:   []float64{1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000, 12000},
 	Warmup:  300 * Millisecond,
@@ -121,6 +125,26 @@ func BenchmarkFig71(b *testing.B) {
 	for _, s := range fig.Series {
 		b.ReportMetric(s.Points[len(s.Points)-1].UserPct, "user_pct:"+sanitizeLabel(s.Label))
 		b.ReportMetric(s.Points[0].UserPct, "user_pct_idle:"+sanitizeLabel(s.Label))
+	}
+}
+
+// BenchmarkSweepWorkers measures the parallel trial executor's scaling
+// on one full figure sweep; workers=1 is the old serial behaviour, so
+// the ratio of the two timings is the executor's speedup on this
+// machine.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOpts
+			o.Parallel = workers
+			var fig Figure
+			for i := 0; i < b.N; i++ {
+				fig = Fig63(o)
+			}
+			if len(fig.Errors) != 0 {
+				b.Fatalf("sweep errors: %v", fig.Errors)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,12 @@
 //	lkfigures -fig mlfrr       # MLFRR estimates for the main kernels
 //	lkfigures -csv -out dir    # write <dir>/fig-<id>.csv files
 //	lkfigures -measure 3s      # measurement window per point
+//	lkfigures -parallel 4      # bound the trial worker pool (0 = all cores)
+//	lkfigures -progress        # sweep progress on stderr
+//
+// Trials of a sweep are fanned out across a worker pool (all CPU cores
+// by default). Results are deterministic: every worker count, including
+// -parallel 1 (fully serial), produces byte-identical tables and CSV.
 package main
 
 import (
@@ -39,13 +45,31 @@ func run(args []string, w io.Writer) error {
 	measure := fs.Duration("measure", 3*time.Second, "simulated measurement window per point")
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "simulated warmup excluded from measurement")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", 0, "concurrent trials per sweep; 0 = all CPU cores, 1 = serial")
+	progress := fs.Bool("progress", false, "report per-sweep trial progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := livelock.Options{
-		Warmup:  livelock.Duration(warmup.Nanoseconds()),
-		Measure: livelock.Duration(measure.Nanoseconds()),
-		Seed:    *seed,
+		Warmup:   livelock.Duration(warmup.Nanoseconds()),
+		Measure:  livelock.Duration(measure.Nanoseconds()),
+		Seed:     *seed,
+		Parallel: *parallel,
+	}
+	// A zero flag is an explicit request, not "use the default".
+	if *warmup == 0 {
+		opts.Warmup = livelock.ZeroWarmup
+	}
+	if *measure == 0 {
+		opts.Measure = livelock.ZeroMeasure
+	}
+	if *progress {
+		opts.Progress = func(done, total int, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "\r%4d/%d trials  %6.1fs", done, total, elapsed.Seconds())
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	switch *figID {
@@ -71,6 +95,11 @@ func run(args []string, w io.Writer) error {
 	}
 
 	for _, fig := range figs {
+		// A panicking trial no longer kills the sweep; surface what
+		// failed next to the (zero-valued) points it left behind.
+		for _, te := range fig.Errors {
+			fmt.Fprintf(os.Stderr, "lkfigures: %v\n", te)
+		}
 		switch {
 		case *outDir != "":
 			path := filepath.Join(*outDir, "fig-"+fig.ID+".csv")

@@ -57,6 +57,23 @@ func TestRunCSVFiles(t *testing.T) {
 	}
 }
 
+// TestRunParallelDeterminism: the -parallel flag must not change the
+// rendered output — serial and multi-worker sweeps are byte-identical.
+func TestRunParallelDeterminism(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	args := append([]string{"-fig", "6-4", "-csv"}, fastArgs...)
+	if err := run(append(args, "-parallel", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-parallel", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("-parallel changed the output:\n--- serial\n%s--- parallel 8\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
 func TestRunMLFRR(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(append([]string{"-fig", "mlfrr"}, fastArgs...), &buf); err != nil {

@@ -79,6 +79,8 @@ func run(args []string, w io.Writer) error {
 	eng.Run(livelock.Time(warmup.Nanoseconds()))
 	sentBefore, deliveredBefore := gen.Sent.Value(), r.Delivered()
 	userBefore := r.UserCPUTime()
+	// Report latency over the measurement window only, like the rates.
+	r.Sink.Latency.Reset()
 	eng.RunFor(livelock.Duration(measure.Nanoseconds()))
 	win := livelock.Duration(measure.Nanoseconds()).Seconds()
 

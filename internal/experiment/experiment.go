@@ -7,11 +7,28 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"time"
 
 	"livelock/internal/kernel"
 	"livelock/internal/plot"
 	"livelock/internal/sim"
+)
+
+// Explicit-zero sentinels. A zero value in Options means "use the
+// default", so an actual zero must be requested explicitly.
+const (
+	// ZeroWarmup requests a trial with no warmup at all (any negative
+	// Warmup is treated the same way).
+	ZeroWarmup = sim.Duration(-1)
+	// ZeroMeasure requests an empty measurement window (any negative
+	// Measure is treated the same way).
+	ZeroMeasure = sim.Duration(-1)
+	// ZeroSeed requests simulation seed 0 (which the RNG remaps to a
+	// fixed non-zero constant, so it is still deterministic). The
+	// sentinel value itself is consequently not usable as a seed.
+	ZeroSeed = ^uint64(0)
 )
 
 // Options control trial execution. The zero value is usable.
@@ -19,29 +36,59 @@ type Options struct {
 	// Rates is the offered-load sweep (pkts/s). Nil selects the
 	// figure's default axis.
 	Rates []float64
-	// Warmup is excluded from measurement (default 500 ms).
+	// Warmup is excluded from measurement (default 500 ms; use
+	// ZeroWarmup for an explicit zero).
 	Warmup sim.Duration
-	// Measure is the measurement window (default 3 s; the paper's
-	// trials sent 10,000 packets, i.e. seconds per point).
+	// Measure is the measurement window (default 3 s, the paper's
+	// trials sent 10,000 packets, i.e. seconds per point; use
+	// ZeroMeasure for an explicit zero).
 	Measure sim.Duration
-	// Seed overrides the simulation seed (default 1).
+	// Seed overrides the simulation seed (default 1; use ZeroSeed for
+	// an explicit zero).
 	Seed uint64
+	// Parallel bounds how many trials a sweep measures concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs the trials serially in
+	// sweep order. Each trial is an independent simulation and results
+	// are assembled positionally with per-trial seeds fixed up front,
+	// so every worker count produces bit-identical figures.
+	Parallel int
+	// Progress, if non-nil, is invoked after each completed trial of a
+	// sweep with the completed count, the sweep's total trial count,
+	// and the wall-clock time elapsed since the sweep began. Calls are
+	// serialized (done is strictly increasing) but may be issued from
+	// worker goroutines.
+	Progress func(done, total int, elapsed time.Duration)
 }
 
 func (o Options) withDefaults(defaultRates []float64) Options {
 	if o.Rates == nil {
 		o.Rates = defaultRates
 	}
-	if o.Warmup == 0 {
-		o.Warmup = 500 * sim.Millisecond
-	}
-	if o.Measure == 0 {
-		o.Measure = 3 * sim.Second
-	}
-	if o.Seed == 0 {
+	o.Warmup = durationOrDefault(o.Warmup, 500*sim.Millisecond)
+	o.Measure = durationOrDefault(o.Measure, 3*sim.Second)
+	switch o.Seed {
+	case 0:
 		o.Seed = 1
+	case ZeroSeed:
+		o.Seed = 0
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 	return o
+}
+
+// durationOrDefault maps the zero value to def and the explicit-zero
+// sentinel (any negative duration) to zero.
+func durationOrDefault(d, def sim.Duration) sim.Duration {
+	switch {
+	case d == 0:
+		return def
+	case d < 0:
+		return 0
+	default:
+		return d
+	}
 }
 
 // Point is one trial: offered load and what came out.
@@ -86,6 +133,9 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// Errors lists trials that failed (panicked) during the sweep;
+	// their points are left zero-valued. Empty on a clean sweep.
+	Errors []TrialError
 }
 
 // defaultThroughputRates is the x-axis of figures 6-1 and 6-3..6-6
@@ -100,35 +150,21 @@ var defaultUserCPURates = []float64{
 	0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
 }
 
-// sweep measures one configuration across the rates.
-func sweep(cfg kernel.Config, label string, o Options) Series {
-	s := Series{Label: label}
-	for _, rate := range o.Rates {
-		cfg.Seed = o.Seed
-		res := kernel.RunTrial(cfg, rate, o.Warmup, o.Measure)
-		s.Points = append(s.Points, Point{
-			InputRate:  res.InputRate,
-			OutputRate: res.OutputRate,
-			UserPct:    res.UserCPUFrac * 100,
-		})
-	}
-	return s
-}
-
 // Fig61 reproduces figure 6-1: forwarding performance of the unmodified
 // kernel, with and without the screend user-mode filter.
 func Fig61(o Options) Figure {
 	o = o.withDefaults(defaultThroughputRates)
-	return Figure{
+	fig := Figure{
 		ID:     "6-1",
 		Title:  "Forwarding performance of unmodified kernel",
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Output packet rate (pkts/sec)",
-		Series: []Series{
-			sweep(kernel.Config{Mode: kernel.ModeUnmodified}, "Without screend", o),
-			sweep(kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}, "With screend", o),
-		},
 	}
+	fig.Series, fig.Errors = runSeries([]seriesSpec{
+		{"Without screend", kernel.Config{Mode: kernel.ModeUnmodified}},
+		{"With screend", kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}},
+	}, o)
+	return fig
 }
 
 // Fig63 reproduces figure 6-3: forwarding performance of the modified
@@ -136,18 +172,19 @@ func Fig61(o Options) Figure {
 // configuration, polling with quota 5, and polling with no quota.
 func Fig63(o Options) Figure {
 	o = o.withDefaults(defaultThroughputRates)
-	return Figure{
+	fig := Figure{
 		ID:     "6-3",
 		Title:  "Forwarding performance of modified kernel, without using screend",
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Output packet rate (pkts/sec)",
-		Series: []Series{
-			sweep(kernel.Config{Mode: kernel.ModeUnmodified}, "Unmodified", o),
-			sweep(kernel.Config{Mode: kernel.ModePolledCompat}, "No polling", o),
-			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 5}, "Polling (quota = 5)", o),
-			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: -1}, "Polling (no quota)", o),
-		},
 	}
+	fig.Series, fig.Errors = runSeries([]seriesSpec{
+		{"Unmodified", kernel.Config{Mode: kernel.ModeUnmodified}},
+		{"No polling", kernel.Config{Mode: kernel.ModePolledCompat}},
+		{"Polling (quota = 5)", kernel.Config{Mode: kernel.ModePolled, Quota: 5}},
+		{"Polling (no quota)", kernel.Config{Mode: kernel.ModePolled, Quota: -1}},
+	}, o)
+	return fig
 }
 
 // Fig64 reproduces figure 6-4: the screend path on the unmodified
@@ -155,24 +192,23 @@ func Fig63(o Options) Figure {
 // queue-state feedback.
 func Fig64(o Options) Figure {
 	o = o.withDefaults(defaultThroughputRates)
-	return Figure{
+	fig := Figure{
 		ID:     "6-4",
 		Title:  "Forwarding performance of modified kernel, with screend",
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Output packet rate (pkts/sec)",
-		Series: []Series{
-			sweep(kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}, "Unmodified", o),
-			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true},
-				"Polling, no feedback", o),
-			sweep(kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true},
-				"Polling w/feedback", o),
-		},
 	}
+	fig.Series, fig.Errors = runSeries([]seriesSpec{
+		{"Unmodified", kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}},
+		{"Polling, no feedback", kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true}},
+		{"Polling w/feedback", kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true}},
+	}, o)
+	return fig
 }
 
-// quotaSeries runs the quota sweep common to figures 6-5 and 6-6.
-func quotaSeries(screend, feedback bool, o Options) []Series {
-	var out []Series
+// quotaSpecs builds the quota sweep common to figures 6-5 and 6-6.
+func quotaSpecs(screend, feedback bool) []seriesSpec {
+	var specs []seriesSpec
 	for _, q := range []struct {
 		quota int
 		label string
@@ -183,37 +219,39 @@ func quotaSeries(screend, feedback bool, o Options) []Series {
 		{100, "quota = 100 packets"},
 		{-1, "quota = infinity"},
 	} {
-		cfg := kernel.Config{Mode: kernel.ModePolled, Quota: q.quota,
-			Screend: screend, Feedback: feedback}
-		out = append(out, sweep(cfg, q.label, o))
+		specs = append(specs, seriesSpec{q.label, kernel.Config{
+			Mode: kernel.ModePolled, Quota: q.quota,
+			Screend: screend, Feedback: feedback}})
 	}
-	return out
+	return specs
 }
 
 // Fig65 reproduces figure 6-5: effect of the packet-count quota without
 // screend.
 func Fig65(o Options) Figure {
 	o = o.withDefaults(defaultThroughputRates)
-	return Figure{
+	fig := Figure{
 		ID:     "6-5",
 		Title:  "Effect of packet-count quota on performance, no screend",
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Output packet rate (pkts/sec)",
-		Series: quotaSeries(false, false, o),
 	}
+	fig.Series, fig.Errors = runSeries(quotaSpecs(false, false), o)
+	return fig
 }
 
 // Fig66 reproduces figure 6-6: effect of the packet-count quota with
 // screend and queue-state feedback.
 func Fig66(o Options) Figure {
 	o = o.withDefaults(defaultThroughputRates)
-	return Figure{
+	fig := Figure{
 		ID:     "6-6",
 		Title:  "Effect of packet-count quota on performance, with screend",
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Output packet rate (pkts/sec)",
-		Series: quotaSeries(true, true, o),
 	}
+	fig.Series, fig.Errors = runSeries(quotaSpecs(true, true), o)
+	return fig
 }
 
 // Fig71 reproduces figure 7-1: CPU time available to a compute-bound
@@ -226,15 +264,16 @@ func Fig71(o Options) Figure {
 		XLabel: "Input packet rate (pkts/sec)",
 		YLabel: "Available CPU time (per cent)",
 	}
+	var specs []seriesSpec
 	for _, th := range []float64{0.25, 0.50, 0.75, 1.00} {
-		cfg := kernel.Config{
-			Mode: kernel.ModePolled, Quota: 5,
-			UserProcess:         true,
-			CycleLimitThreshold: th,
-		}
-		fig.Series = append(fig.Series,
-			sweep(cfg, fmt.Sprintf("threshold %3.0f %%", th*100), o))
+		specs = append(specs, seriesSpec{fmt.Sprintf("threshold %3.0f %%", th*100),
+			kernel.Config{
+				Mode: kernel.ModePolled, Quota: 5,
+				UserProcess:         true,
+				CycleLimitThreshold: th,
+			}})
 	}
+	fig.Series, fig.Errors = runSeries(specs, o)
 	return fig
 }
 

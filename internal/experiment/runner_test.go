@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"livelock/internal/kernel"
+	"livelock/internal/sim"
+)
+
+// TestParallelMatchesSerial is the executor's determinism contract: a
+// figure swept serially and the same figure swept across many workers
+// must be bit-identical — same series order, same points, byte-equal
+// CSV and table renderings.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := Options{
+		Rates:   []float64{1000, 6000, 12000},
+		Warmup:  100 * sim.Millisecond,
+		Measure: 400 * sim.Millisecond,
+	}
+	serial := base
+	serial.Parallel = 1
+	parallel := base
+	parallel.Parallel = 8
+
+	for _, runner := range []struct {
+		name string
+		fn   func(Options) Figure
+	}{{"6-3", Fig63}, {"7-1", Fig71}} {
+		fs, fp := runner.fn(serial), runner.fn(parallel)
+		if len(fs.Errors) != 0 || len(fp.Errors) != 0 {
+			t.Fatalf("fig %s: unexpected trial errors: %v / %v", runner.name, fs.Errors, fp.Errors)
+		}
+		var csvS, csvP, tabS, tabP bytes.Buffer
+		if err := fs.WriteCSV(&csvS); err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.WriteCSV(&csvP); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(csvS.Bytes(), csvP.Bytes()) {
+			t.Errorf("fig %s: serial and parallel CSV differ:\n--- serial\n%s--- parallel\n%s",
+				runner.name, csvS.String(), csvP.String())
+		}
+		if err := fs.WriteTable(&tabS); err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.WriteTable(&tabP); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tabS.Bytes(), tabP.Bytes()) {
+			t.Errorf("fig %s: serial and parallel tables differ", runner.name)
+		}
+	}
+}
+
+// stubTrial returns a deterministic result derived from the arguments,
+// without running a simulation.
+func stubTrial(cfg kernel.Config, rate float64, warmup, measure sim.Duration) kernel.TrialResult {
+	return kernel.TrialResult{InputRate: rate, OutputRate: rate * float64(cfg.Quota)}
+}
+
+func TestSweepPanicRecovery(t *testing.T) {
+	boom := func(cfg kernel.Config, rate float64, warmup, measure sim.Duration) kernel.TrialResult {
+		if rate == 2000 {
+			panic("rate 2000 exploded")
+		}
+		return stubTrial(cfg, rate, warmup, measure)
+	}
+	o := Options{Rates: []float64{1000, 2000, 3000}, Parallel: 4, Seed: 1}
+	specs := []seriesSpec{
+		{"a", kernel.Config{Quota: 2}},
+		{"b", kernel.Config{Quota: 3}},
+	}
+	series, errs := runSeriesWith(boom, specs, o)
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	// Surviving trials completed despite the panics.
+	if got := series[1].Points[2].OutputRate; got != 9000 {
+		t.Errorf("series b @3000 = %.0f, want 9000", got)
+	}
+	// Failed trials report zero-valued points.
+	if p := series[0].Points[1]; p.InputRate != 0 || p.OutputRate != 0 {
+		t.Errorf("panicked trial left non-zero point %+v", p)
+	}
+	// Errors come back in deterministic (series, rate) order.
+	if len(errs) != 2 {
+		t.Fatalf("errors = %v, want 2 entries", errs)
+	}
+	if errs[0].Series != "a" || errs[1].Series != "b" ||
+		errs[0].Rate != 2000 || errs[1].Rate != 2000 {
+		t.Errorf("error order wrong: %v", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "rate 2000 exploded") {
+		t.Errorf("recovered panic message lost: %v", errs[0])
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	var dones []int
+	var total int
+	o := Options{
+		Rates:    []float64{1, 2, 3},
+		Parallel: 3,
+		Progress: func(done, tot int, elapsed time.Duration) {
+			dones = append(dones, done)
+			total = tot
+			if elapsed < 0 {
+				t.Errorf("negative elapsed %v", elapsed)
+			}
+		},
+	}
+	specs := []seriesSpec{{"a", kernel.Config{}}, {"b", kernel.Config{}}}
+	runSeriesWith(stubTrial, specs, o)
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	if len(dones) != 6 {
+		t.Fatalf("progress calls = %d, want 6", len(dones))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not strictly increasing from 1", dones)
+		}
+	}
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	axis := []float64{100}
+
+	d := Options{}.withDefaults(axis)
+	if d.Warmup != 500*sim.Millisecond || d.Measure != 3*sim.Second || d.Seed != 1 {
+		t.Fatalf("zero-value defaults wrong: %+v", d)
+	}
+	if d.Parallel != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallel default = %d, want GOMAXPROCS %d", d.Parallel, runtime.GOMAXPROCS(0))
+	}
+	if len(d.Rates) != 1 || d.Rates[0] != 100 {
+		t.Fatalf("default rates not applied: %v", d.Rates)
+	}
+
+	set := Options{
+		Rates: []float64{7}, Warmup: sim.Second, Measure: 2 * sim.Second,
+		Seed: 9, Parallel: 3,
+	}.withDefaults(axis)
+	if set.Warmup != sim.Second || set.Measure != 2*sim.Second || set.Seed != 9 || set.Parallel != 3 {
+		t.Fatalf("explicit values clobbered: %+v", set)
+	}
+	if set.Rates[0] != 7 {
+		t.Fatalf("explicit rates clobbered: %v", set.Rates)
+	}
+
+	z := Options{Warmup: ZeroWarmup, Measure: ZeroMeasure, Seed: ZeroSeed}.withDefaults(nil)
+	if z.Warmup != 0 {
+		t.Fatalf("ZeroWarmup → %v, want 0", z.Warmup)
+	}
+	if z.Measure != 0 {
+		t.Fatalf("ZeroMeasure → %v, want 0", z.Measure)
+	}
+	if z.Seed != 0 {
+		t.Fatalf("ZeroSeed → %d, want 0", z.Seed)
+	}
+
+	// A non-nil empty rate slice is an explicit (if useless) choice.
+	empty := Options{Rates: []float64{}}.withDefaults(axis)
+	if len(empty.Rates) != 0 {
+		t.Fatalf("explicit empty rates replaced: %v", empty.Rates)
+	}
+}
+
+// TestZeroWarmupTrial proves an explicit zero-warmup trial is actually
+// runnable end to end — the regression that motivated the sentinels.
+func TestZeroWarmupTrial(t *testing.T) {
+	var gotWarmup, gotMeasure sim.Duration
+	capture := func(cfg kernel.Config, rate float64, warmup, measure sim.Duration) kernel.TrialResult {
+		gotWarmup, gotMeasure = warmup, measure
+		return kernel.TrialResult{}
+	}
+	o := Options{Rates: []float64{500}, Warmup: ZeroWarmup, Measure: 100 * sim.Millisecond}
+	runSeriesWith(capture, []seriesSpec{{"x", kernel.Config{}}}, o.withDefaults(nil))
+	if gotWarmup != 0 {
+		t.Fatalf("trial ran with warmup %v, want 0", gotWarmup)
+	}
+	if gotMeasure != 100*sim.Millisecond {
+		t.Fatalf("measure = %v", gotMeasure)
+	}
+
+	// And the real kernel tolerates it (including a zero measure).
+	res := kernel.RunTrial(kernel.Config{Mode: kernel.ModePolled, Quota: 5, UserProcess: true},
+		1000, 0, 0)
+	if res.UserCPUFrac != 0 || res.OutputRate != 0 {
+		t.Fatalf("zero-window trial produced %+v", res)
+	}
+}

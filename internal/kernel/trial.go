@@ -17,8 +17,9 @@ type TrialResult struct {
 	// UserCPUFrac is the fraction of CPU time obtained by the
 	// compute-bound user process during the measurement window (§7).
 	UserCPUFrac float64
-	// LatencyP50/P99 are forwarding-latency quantiles over delivered
-	// packets (whole trial, not just the window).
+	// LatencyP50/P99 are forwarding-latency quantiles over packets
+	// delivered inside the measurement window (warmup deliveries are
+	// excluded, like the rate measurements).
 	LatencyP50, LatencyP99 sim.Duration
 	// Jitter is the p90−p10 latency spread (§3 lists "reasonable
 	// latency and jitter" among the scheduling requirements).
@@ -43,6 +44,10 @@ func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResul
 	inMeter := stats.NewRateMeter(gen.Sent, eng.Now())
 	outMeter := stats.NewRateMeter(r.Out.OutPkts, eng.Now())
 	userBefore := r.UserCPUTime()
+	// Latency quantiles must cover only the measurement window: discard
+	// the queue-fill transient recorded during warmup, mirroring how the
+	// rate meters re-baseline at the same instant.
+	r.Sink.Latency.Reset()
 
 	eng.RunFor(measure)
 
@@ -53,7 +58,7 @@ func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResul
 		LatencyP99: r.Sink.Latency.Quantile(0.99),
 		Jitter:     r.Sink.Latency.Quantile(0.90) - r.Sink.Latency.Quantile(0.10),
 	}
-	if cfg.UserProcess {
+	if cfg.UserProcess && measure > 0 {
 		res.UserCPUFrac = float64(r.UserCPUTime()-userBefore) / float64(measure)
 	}
 

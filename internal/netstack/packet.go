@@ -59,8 +59,14 @@ type Pool struct {
 	free    []*Packet
 	bufSize int
 	total   int
-	// Fails counts allocation failures (buffer exhaustion drops).
+	// Fails counts allocation failures caused by buffer exhaustion —
+	// the pool genuinely had no free buffer, the paper's mbuf-starvation
+	// drop.
 	Fails uint64
+	// Oversize counts requests larger than the pool's buffer size. That
+	// is a caller bug, not exhaustion, and is tracked separately so
+	// conservation accounting does not conflate the two failure modes.
+	Oversize uint64
 }
 
 // NewPool returns a pool of n buffers of bufSize bytes each. n <= 0 or
@@ -80,7 +86,11 @@ func NewPool(n, bufSize int) *Pool {
 // Get allocates a packet buffer sized to length n. It returns nil if the
 // pool is exhausted or n exceeds the pool's buffer size.
 func (p *Pool) Get(n int) *Packet {
-	if n > p.bufSize || len(p.free) == 0 {
+	if n > p.bufSize {
+		p.Oversize++
+		return nil
+	}
+	if len(p.free) == 0 {
 		p.Fails++
 		return nil
 	}

@@ -269,6 +269,12 @@ func TestPool(t *testing.T) {
 	if p.Get(1000) != nil {
 		t.Fatal("oversized allocation succeeded")
 	}
+	if p.Oversize != 1 {
+		t.Fatalf("Oversize = %d, want 1", p.Oversize)
+	}
+	if p.Fails != 1 {
+		t.Fatalf("Fails = %d after oversize request, want 1 (oversize must not count as exhaustion)", p.Fails)
+	}
 	a.Release()
 	if p.Available() != 1 {
 		t.Fatalf("Available = %d, want 1", p.Available())

@@ -139,16 +139,21 @@ func (q *Queue) Dequeue() *netstack.Packet {
 // regime (i.e. OnHigh has fired and OnLow has not yet).
 func (q *Queue) AboveHigh() bool { return q.high }
 
-// Flush dequeues and releases all packets, returning how many were
-// discarded. Used at teardown.
+// Flush releases all queued packets and returns how many were
+// discarded. Used at teardown: unlike Dequeue it never fires the OnLow
+// watermark callback, which would otherwise poke feedback gates and
+// schedule input re-enable work on a quiescing engine. The hysteresis
+// state is cleared silently.
 func (q *Queue) Flush() int {
-	n := 0
-	for {
-		p := q.Dequeue()
-		if p == nil {
-			return n
-		}
+	n := q.count
+	for i := 0; i < n; i++ {
+		p := q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % q.limit
 		p.Release()
-		n++
 	}
+	q.count = 0
+	q.high = false
+	q.Occupancy.Set(q.clock(), 0)
+	return n
 }

@@ -182,6 +182,41 @@ func TestQueueFlush(t *testing.T) {
 	}
 }
 
+// TestQueueFlushSkipsHysteresis: teardown must not fire the OnLow
+// re-enable callback — a flush is not the feedback mechanism draining
+// the queue, and poking feedback gates on a quiescing engine schedules
+// spurious re-enable work.
+func TestQueueFlushSkipsHysteresis(t *testing.T) {
+	var now sim.Time
+	q := New("q", 8, clockAt(&now))
+	q.SetWatermarks(4, 1)
+	highs, lows := 0, 0
+	q.OnHigh = func() { highs++ }
+	q.OnLow = func() { lows++ }
+	for i := 0; i < 6; i++ {
+		q.Enqueue(pkt(uint64(i)))
+	}
+	if highs != 1 || !q.AboveHigh() {
+		t.Fatalf("OnHigh fired %d times (AboveHigh=%v), want 1/true", highs, q.AboveHigh())
+	}
+	if n := q.Flush(); n != 6 {
+		t.Fatalf("Flush = %d, want 6", n)
+	}
+	if lows != 0 {
+		t.Fatalf("OnLow fired %d times during Flush, want 0", lows)
+	}
+	if q.AboveHigh() {
+		t.Fatal("hysteresis state not cleared by Flush")
+	}
+	// The hysteresis must be re-armed: a fresh fill fires OnHigh again.
+	for i := 0; i < 4; i++ {
+		q.Enqueue(pkt(uint64(i)))
+	}
+	if highs != 2 {
+		t.Fatalf("OnHigh fired %d times after re-fill, want 2", highs)
+	}
+}
+
 func TestQueueConservationProperty(t *testing.T) {
 	// Property: enqueued = dequeued + dropped-at-enqueue + still-queued,
 	// and FIFO order is preserved, for any op sequence.

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random number generator
 // (xorshift64*). Simulations must draw all randomness from an RNG seeded
@@ -35,11 +38,24 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// It uses Lemire's multiply-shift method with rejection, which is exactly
+// uniform (a plain Uint64()%n would over-weight the low residues) and
+// consumes a single Uint64 draw except in the rare rejection case.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject draws in the biased low fringe: (2^64 - n) mod n.
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Exp returns an exponentially distributed duration with the given mean,

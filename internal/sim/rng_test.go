@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 )
 
@@ -70,6 +71,79 @@ func TestRNGIntnRange(t *testing.T) {
 	for v, ok := range seen {
 		if !ok {
 			t.Fatalf("Intn(10) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+// TestRNGIntnMatchesReference pins the Lemire multiply-shift
+// implementation against a straightforward rejection-sampling reference
+// driven by the same underlying bit stream: both are exactly uniform, so
+// for any n they must make the same accept/reject decisions and return
+// the same values.
+func TestRNGIntnMatchesReference(t *testing.T) {
+	// Reference: Lemire's method written out naively.
+	ref := func(r *RNG, n int) int {
+		un := uint64(n)
+		for {
+			v := r.Uint64()
+			hi, lo := bits.Mul64(v, un)
+			if lo >= (-un)%un {
+				return int(hi)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 3, 7, 10, 1000, 1 << 20, (1 << 62) + 12345} {
+		a, b := NewRNG(77), NewRNG(77)
+		for i := 0; i < 2000; i++ {
+			got, want := a.Intn(n), ref(b, n)
+			if got != want {
+				t.Fatalf("Intn(%d) draw %d = %d, reference %d", n, i, got, want)
+			}
+			if got < 0 || got >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, got)
+			}
+		}
+	}
+}
+
+// TestRNGIntnUnbiased checks that no residue class is over-weighted for
+// a small n: with the old Uint64()%n the test's tolerance would still
+// pass (the bias at small n is tiny), so it is paired with the golden
+// sequence below, which pins the unbiased algorithm itself.
+func TestRNGIntnUnbiased(t *testing.T) {
+	r := NewRNG(31)
+	const n, draws = 6, 300000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.02*want {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ~%.0f", n, v, c, want)
+		}
+	}
+}
+
+// TestRNGIntnGolden pins the exact sequence for a fixed seed so that any
+// change to the Intn algorithm is a deliberate, visible decision.
+func TestRNGIntnGolden(t *testing.T) {
+	r := NewRNG(42)
+	var got [8]int
+	for i := range got {
+		got[i] = r.Intn(1000)
+	}
+	want := [8]int{339, 782, 790, 944, 764, 835, 204, 439}
+	if got != want {
+		t.Fatalf("Intn(1000) sequence from seed 42 = %v, want %v", got, want)
+	}
+}
+
+func TestRNGIntnOne(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(1); v != 0 {
+			t.Fatalf("Intn(1) = %d", v)
 		}
 	}
 }

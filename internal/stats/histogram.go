@@ -42,6 +42,19 @@ func NewHistogram(name string) *Histogram {
 // Name returns the histogram's name.
 func (h *Histogram) Name() string { return h.name }
 
+// Reset discards all observations, keeping the name and bucket layout.
+// Trial harnesses call it at the end of warmup so quantiles cover only
+// the measurement window, the way rate meters re-baseline their counters.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
 func (h *Histogram) bucket(d sim.Duration) int {
 	if d < 1 {
 		d = 1

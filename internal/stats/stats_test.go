@@ -95,6 +95,29 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Millisecond)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("Reset left state behind: %v", h)
+	}
+	// Post-reset observations must not see pre-reset extremes.
+	h.Observe(5 * sim.Microsecond)
+	h.Observe(9 * sim.Microsecond)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d after reset+2 observations", h.Count())
+	}
+	if h.Min() != 5*sim.Microsecond || h.Max() != 9*sim.Microsecond {
+		t.Fatalf("Min/Max = %v/%v, want 5µs/9µs", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.99); q > 10*sim.Microsecond {
+		t.Fatalf("p99 = %v still reflects pre-reset samples", q)
+	}
+}
+
 func TestHistogramQuantileAccuracy(t *testing.T) {
 	h := NewHistogram("lat")
 	for i := 1; i <= 10000; i++ {

@@ -53,6 +53,14 @@ const (
 	Measure = 3 * sim.Second
 )
 
+// Explicit-zero sentinels for Options fields whose zero value selects a
+// default (see experiment.Options).
+const (
+	ZeroWarmup  = experiment.ZeroWarmup
+	ZeroMeasure = experiment.ZeroMeasure
+	ZeroSeed    = experiment.ZeroSeed
+)
+
 // Kernel architecture selection; see the kernel package for semantics.
 type Mode = kernel.Mode
 
@@ -166,7 +174,9 @@ type (
 
 // Experiment types.
 type (
-	// Options configure experiment sweeps.
+	// Options configure experiment sweeps, including the parallel trial
+	// executor (Options.Parallel bounds the worker pool, 0 = all CPU
+	// cores; any worker count produces bit-identical figures).
 	Options = experiment.Options
 	// Figure is a reproduced paper figure.
 	Figure = experiment.Figure
@@ -174,6 +184,9 @@ type (
 	Series = experiment.Series
 	// Point is one (input rate, measurement) pair.
 	Point = experiment.Point
+	// TrialError records a sweep trial whose panic was recovered by the
+	// executor; see Figure.Errors.
+	TrialError = experiment.TrialError
 )
 
 // Figure runners, one per figure in the paper's evaluation.
