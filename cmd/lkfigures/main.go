@@ -47,6 +47,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "concurrent trials per sweep; 0 = all CPU cores, 1 = serial")
 	progress := fs.Bool("progress", false, "report per-sweep trial progress on stderr")
+	timelineDir := fs.String("timeline-dir", "", "also write overload timeline CSVs for the headline kernel configurations to this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,12 @@ func run(args []string, w io.Writer) error {
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
+		}
+	}
+
+	if *timelineDir != "" {
+		if err := writeTimelines(w, *timelineDir, *seed); err != nil {
+			return err
 		}
 	}
 
@@ -131,6 +138,43 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+	}
+	return nil
+}
+
+// writeTimelines records one overload timeline per headline kernel
+// configuration — the same four arms the MLFRR table compares — so a
+// figure sweep can ship the transient view alongside the aggregate
+// curves. Rates sit past each arm's saturation point: the unmodified
+// arms show livelock onset, the polled arms show the flat plateau.
+func writeTimelines(w io.Writer, dir string, seed uint64) error {
+	rows := []struct {
+		slug string
+		cfg  livelock.Config
+		rate float64
+	}{
+		{"unmodified", livelock.Config{Mode: livelock.ModeUnmodified}, 12000},
+		{"unmodified-screend", livelock.Config{Mode: livelock.ModeUnmodified, Screend: true}, 8000},
+		{"polled", livelock.Config{Mode: livelock.ModePolled, Quota: 5}, 12000},
+		{"polled-screend-feedback", livelock.Config{
+			Mode: livelock.ModePolled, Quota: 10, Screend: true, Feedback: true}, 8000},
+	}
+	for _, row := range rows {
+		row.cfg.Seed = seed
+		res := livelock.RunTimeline(row.cfg, row.rate, livelock.TimelineOptions{})
+		path := filepath.Join(dir, "timeline-"+row.slug+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Series.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
 	}
 	return nil
 }

@@ -43,6 +43,8 @@ func run(args []string, w io.Writer) error {
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "simulated warmup")
 	measure := fs.Duration("measure", 3*time.Second, "simulated measurement window")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	timeline := fs.String("timeline", "", "record a sampled time-series of the run (incl. warmup) to this CSV file")
+	tlInterval := fs.Duration("timeline-interval", 10*time.Millisecond, "sampling interval for -timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +69,12 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	var reg *livelock.MetricsRegistry
+	if *timeline != "" {
+		reg = livelock.NewMetricsRegistry()
+		cfg.Metrics = reg
+	}
+
 	eng := livelock.NewEngine()
 	r := livelock.NewRouter(eng, cfg)
 	var arrival livelock.Arrival = livelock.ConstantRate{Rate: *rate, JitterFrac: 0.05}
@@ -75,6 +83,15 @@ func run(args []string, w io.Writer) error {
 	}
 	gen := r.AttachGenerator(0, arrival, 0)
 	gen.Start()
+
+	var sampler *livelock.Sampler
+	if reg != nil {
+		if err := reg.Counter("gen.sent", gen.Sent); err != nil {
+			return err
+		}
+		sampler = livelock.NewSampler(eng, reg, livelock.Duration(tlInterval.Nanoseconds()))
+		sampler.Start()
+	}
 
 	eng.Run(livelock.Time(warmup.Nanoseconds()))
 	sentBefore, deliveredBefore := gen.Sent.Value(), r.Delivered()
@@ -127,6 +144,23 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "\npoller: wakeups=%d rounds=%d rx=%d tx=%d feedback(inhibits=%d timeouts=%d) cycle(inhibits=%d)\n",
 			ps.Wakeups, ps.Rounds, ps.RxSteps, ps.TxSteps,
 			ps.FeedbackInhibits, ps.FeedbackTimeouts, ps.CycleInhibits)
+	}
+
+	if sampler != nil {
+		sampler.Flush()
+		sampler.Stop()
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		if err := sampler.Series().WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntimeline: wrote %s\n", *timeline)
 	}
 	return nil
 }

@@ -1,0 +1,182 @@
+// Command lkstat records one instrumented trial as a time-series: every
+// registered instrument (queue depths, ring occupancy, per-IPL CPU
+// utilization, drop and ICMP counters, poller activity) sampled on a
+// fixed simulated-time interval. Where lksim reports end-of-run
+// aggregates, lkstat shows the transient — livelock onset is visible as
+// adjacent rows in which ipintrq.depth pegs at its limit, the delivered
+// delta collapses to zero, and cpu.rxipl.util saturates.
+//
+// Output formats:
+//
+//	table     aligned text, a curated column subset (-columns overrides)
+//	csv       wide CSV, one column per instrument
+//	json      schema + sample rows as a single JSON object
+//	perfetto  Chrome trace-event JSON (counter tracks, per-task CPU
+//	          scheduling spans, packet-lifecycle instants) for
+//	          ui.perfetto.dev
+//
+// All output is deterministic for a given configuration and seed.
+//
+// Examples:
+//
+//	lkstat -mode unmodified -rate 8000 -format csv
+//	lkstat -mode unmodified -screend -rate 8000           # full livelock
+//	lkstat -mode polled -quota 5 -rate 12000 -format perfetto -out trace.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"livelock"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lkstat:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultTableColumns is the curated livelock-onset view: offered vs
+// delivered per interval, where packets are queued or dropped, and who
+// owns the CPU.
+var defaultTableColumns = []string{
+	"gen.sent", "delivered",
+	"ipintrq.depth", "ipintrq.drops", "screendq.depth", "ifq.out0.depth",
+	"in0.idiscards",
+	"cpu.rxipl.util", "cpu.user.util", "cpu.idle.util",
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lkstat", flag.ContinueOnError)
+	fs.SetOutput(w)
+	mode := fs.String("mode", "unmodified", "kernel mode: unmodified, compat, polled")
+	rate := fs.Float64("rate", 8000, "offered load (pkts/sec)")
+	quota := fs.Int("quota", 5, "poll callback quota; -1 = unlimited")
+	screend := fs.Bool("screend", false, "insert the screend user-mode filter")
+	rules := fs.Int("rules", 1, "screend rule-list length")
+	feedback := fs.Bool("feedback", false, "enable screend queue-state feedback")
+	cycleLimit := fs.Float64("cyclelimit", 0, "cycle-limit threshold in (0,1); 0 = off")
+	user := fs.Bool("user", false, "run a compute-bound user process")
+	interval := fs.Duration("interval", 10*time.Millisecond, "simulated sampling interval")
+	runFor := fs.Duration("for", time.Second, "simulated run length")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	format := fs.String("format", "table", "output format: table, csv, json, perfetto")
+	out := fs.String("out", "", "output file (default stdout)")
+	columns := fs.String("columns", "", "comma-separated column subset for -format table")
+	traceCap := fs.Int("trace", 4096, "packet-lifecycle ring size for -format perfetto; 0 = off")
+	validate := fs.String("validate", "", "validate a previously written JSON/Perfetto file and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *validate != "" {
+		return validateFile(w, *validate)
+	}
+
+	cfg := livelock.Config{
+		Quota:               *quota,
+		Screend:             *screend,
+		ScreendRules:        *rules,
+		Feedback:            *feedback,
+		CycleLimitThreshold: *cycleLimit,
+		UserProcess:         *user,
+		Seed:                *seed,
+	}
+	switch *mode {
+	case "unmodified":
+		cfg.Mode = livelock.ModeUnmodified
+	case "compat":
+		cfg.Mode = livelock.ModePolledCompat
+	case "polled":
+		cfg.Mode = livelock.ModePolled
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	opts := livelock.TimelineOptions{
+		Interval: livelock.Duration((*interval).Nanoseconds()),
+		RunFor:   livelock.Duration((*runFor).Nanoseconds()),
+	}
+	if *format == "perfetto" {
+		opts.Spans = true
+		opts.TraceCap = *traceCap
+	}
+	res := livelock.RunTimeline(cfg, *rate, opts)
+
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		dst = bw
+	}
+
+	switch *format {
+	case "table":
+		cols := defaultTableColumns
+		if *columns != "" {
+			cols = strings.Split(*columns, ",")
+		}
+		return res.Series.WriteTable(dst, cols...)
+	case "csv":
+		return res.Series.WriteCSV(dst)
+	case "json":
+		return res.Series.WriteJSON(dst)
+	case "perfetto":
+		p := &livelock.PerfettoTrace{
+			Series: res.Series,
+			Spans:  res.Spans,
+			Events: res.Trace,
+		}
+		_, err := p.WriteTo(dst)
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// validateFile checks that a JSON or Perfetto export parses and has the
+// expected top-level shape; CI uses it to gate artifact uploads without
+// external tooling.
+func validateFile(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: invalid JSON: %v", path, err)
+	}
+	if raw, ok := doc["traceEvents"]; ok {
+		var events []map[string]any
+		if err := json.Unmarshal(raw, &events); err != nil {
+			return fmt.Errorf("%s: traceEvents is not an event array: %v", path, err)
+		}
+		if len(events) == 0 {
+			return fmt.Errorf("%s: empty traceEvents", path)
+		}
+		fmt.Fprintf(w, "%s: valid Perfetto trace, %d events\n", path, len(events))
+		return nil
+	}
+	if raw, ok := doc["samples"]; ok {
+		var samples []map[string]any
+		if err := json.Unmarshal(raw, &samples); err != nil {
+			return fmt.Errorf("%s: samples is not an array: %v", path, err)
+		}
+		fmt.Fprintf(w, "%s: valid timeline, %d samples\n", path, len(samples))
+		return nil
+	}
+	return fmt.Errorf("%s: neither a Perfetto trace nor a timeline export", path)
+}

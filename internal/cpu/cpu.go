@@ -118,6 +118,9 @@ func (t *Task) Name() string { return t.name }
 // IPL returns the task's interrupt priority level.
 func (t *Task) IPL() IPL { return t.ipl }
 
+// Class returns the task's accounting class.
+func (t *Task) Class() Class { return t.class }
+
 // Pending returns the number of queued work items (including the one
 // currently executing, if any).
 func (t *Task) Pending() int { return len(t.items) - t.head }
@@ -184,6 +187,8 @@ type CPU struct {
 	busy        sim.Duration
 	dispatches  uint64
 	preemptions uint64
+
+	runHook func(t *Task, start, end sim.Time)
 }
 
 // New returns an idle CPU attached to the engine.
@@ -202,6 +207,13 @@ func (c *CPU) NewTask(name string, ipl IPL, prio int, class Class) *Task {
 	c.tasks = append(c.tasks, t)
 	return t
 }
+
+// SetRunHook installs fn, invoked every time the CPU stops executing a
+// task — item completion or mid-item preemption — with the task and the
+// half-open interval [start, end) it just held the processor for. The
+// observability layer derives per-task scheduling spans (Perfetto
+// tracks) from this; fn must not re-enter the CPU.
+func (c *CPU) SetRunHook(fn func(t *Task, start, end sim.Time)) { c.runHook = fn }
 
 // OnIdle registers a hook invoked whenever the CPU runs out of work (the
 // idle thread). Hooks may post work. The modified kernel uses this to
@@ -239,6 +251,34 @@ func (c *CPU) IdleTime() sim.Duration {
 	v := c.classTime[ClassIdle]
 	if c.cur == nil && c.isIdle {
 		v += c.eng.Now().Sub(c.idleSince)
+	}
+	return v
+}
+
+// IPLTime returns the cumulative CPU time consumed by tasks at
+// interrupt priority level l, including the current partial item. The
+// sampler differentiates this into per-IPL utilization.
+func (c *CPU) IPLTime(l IPL) sim.Duration {
+	var v sim.Duration
+	for _, t := range c.tasks {
+		if t.ipl == l {
+			v += t.Consumed()
+		}
+	}
+	return v
+}
+
+// RaisedIPLTime returns the cumulative CPU time spent above thread
+// level — device interrupts, software interrupts, and the clock. Under
+// receive livelock this is the quantity that saturates: the paper's
+// "100% of its time processing receive interrupts" (§3) is this
+// utilization pinned at 1.0 while thread-level work gets nothing.
+func (c *CPU) RaisedIPLTime() sim.Duration {
+	var v sim.Duration
+	for _, t := range c.tasks {
+		if t.ipl > IPLThread {
+			v += t.Consumed()
+		}
 	}
 	return v
 }
@@ -333,6 +373,9 @@ func (c *CPU) preempt() {
 	now := c.eng.Now()
 	elapsed := now.Sub(c.curStart)
 	c.charge(t, elapsed)
+	if c.runHook != nil {
+		c.runHook(t, c.curStart, now)
+	}
 	t.peekItem().cost -= elapsed
 	c.eng.Cancel(c.completion)
 	c.completion = nil
@@ -362,6 +405,9 @@ func (c *CPU) complete() {
 	c.completion = nil
 	item := t.popItem()
 	c.charge(t, item.cost)
+	if c.runHook != nil {
+		c.runHook(t, c.curStart, c.eng.Now())
+	}
 	c.cur = nil
 	if t.Pending() > 0 {
 		// Refresh the sequence number so equal-priority tasks

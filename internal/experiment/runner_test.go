@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -53,6 +54,57 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		if !bytes.Equal(tabS.Bytes(), tabP.Bytes()) {
 			t.Errorf("fig %s: serial and parallel tables differ", runner.name)
+		}
+	}
+}
+
+// TestTimelineDeterministicAcrossWorkers extends the determinism
+// contract to instrumented runs: a timeline recorded inside a
+// goroutine, with other instrumented trials running concurrently (the
+// parallel trial executor's situation), must be byte-identical to the
+// same timeline recorded serially.
+func TestTimelineDeterministicAcrossWorkers(t *testing.T) {
+	cfgs := []kernel.Config{
+		{Mode: kernel.ModeUnmodified},
+		{Mode: kernel.ModeUnmodified, Screend: true},
+		{Mode: kernel.ModePolled, Quota: 5},
+	}
+	topt := kernel.TimelineOptions{
+		Interval: 10 * sim.Millisecond,
+		RunFor:   200 * sim.Millisecond,
+	}
+	render := func(cfg kernel.Config) []byte {
+		res := kernel.RunTimeline(cfg, 9000, topt)
+		var b bytes.Buffer
+		if err := res.Series.WriteCSV(&b); err != nil {
+			t.Error(err)
+		}
+		return b.Bytes()
+	}
+
+	want := make([][]byte, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = render(cfg)
+		if len(want[i]) == 0 || bytes.Count(want[i], []byte("\n")) < 21 {
+			t.Fatalf("cfg %d: serial timeline suspiciously short:\n%s", i, want[i])
+		}
+	}
+
+	const workers = 9
+	got := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[w] = render(cfgs[w%len(cfgs)])
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if !bytes.Equal(got[w], want[w%len(cfgs)]) {
+			t.Errorf("worker %d: concurrent timeline differs from serial reference", w)
 		}
 	}
 }

@@ -20,6 +20,7 @@ package kernel
 import (
 	"fmt"
 
+	"livelock/internal/metrics"
 	"livelock/internal/nic"
 	"livelock/internal/sim"
 	"livelock/internal/trace"
@@ -305,6 +306,14 @@ type Config struct {
 	// decision point (ring accept/drop, queue enqueue/drop, forward,
 	// screen, transmit). Tracing is for short diagnostic runs.
 	Trace *trace.Tracer
+
+	// Metrics, if non-nil, receives the router's full instrument schema
+	// at construction (CPU utilization by class and IPL, NIC and queue
+	// counters and depths, poller/feedback/screend/monitor activity);
+	// attach a metrics.Sampler to record a timeline. The schema is the
+	// same in every mode — absent subsystems register constant-zero
+	// columns — so timelines line up column-for-column across kernels.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the testbed configuration used throughout the

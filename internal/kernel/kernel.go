@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"livelock/internal/cpu"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
 	"livelock/internal/queue"
@@ -254,7 +255,54 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 	if cfg.Trace != nil {
 		r.wireTracing()
 	}
+	if cfg.Metrics != nil {
+		r.registerMetrics(cfg.Metrics)
+	}
 	return r
+}
+
+// registerMetrics registers the router's full instrument schema. The
+// schema is identical across kernel modes for a given topology:
+// subsystems absent from a configuration register constant-zero
+// columns, so timelines from different kernels line up
+// column-for-column. Registration order — and therefore column order —
+// follows this function top to bottom.
+func (r *Router) registerMetrics(reg *metrics.Registry) {
+	must := metrics.MustRegister
+	must(metrics.RegisterCPU(reg, r.CPU))
+	must(r.Sink.RegisterMetrics(reg))
+	for _, in := range r.Ins {
+		must(in.RegisterMetrics(reg))
+	}
+	must(r.Out.RegisterMetrics(reg))
+	registerQueueMetrics(reg, r.ipintrq, "ipintrq")
+	registerQueueMetrics(reg, r.portByIdx[OutIfIndex].outq, "ifq.out0")
+	registerQueueMetrics(reg, r.screendq, "screendq")
+	must(reg.Counter("fwd.errors", r.FwdErrors))
+	must(reg.Counter("fwd.ttl", r.TTLDrops))
+	must(reg.Counter("icmp.sent", r.ICMPSent))
+	must(reg.Counter("sock.nosocket", r.NoSocketDrops))
+	if r.unmod != nil {
+		r.unmod.registerMetrics(reg)
+	} else {
+		r.polled.registerMetrics(reg)
+	}
+	r.registerScreendMetrics(reg)
+	r.registerMonitorMetrics(reg)
+}
+
+// registerQueueMetrics registers a queue's instruments, or constant-zero
+// columns under the same names when the queue does not exist in this
+// configuration (ipintrq in the polled kernel, screendq without
+// screend).
+func registerQueueMetrics(reg *metrics.Registry, q *queue.Queue, name string) {
+	if q != nil {
+		metrics.MustRegister(q.RegisterMetrics(reg))
+		return
+	}
+	metrics.MustRegister(reg.Gauge(name+".depth", func() float64 { return 0 }))
+	metrics.MustRegister(reg.Counter(name+".drops", nil))
+	metrics.MustRegister(reg.Counter(name+".enq", nil))
 }
 
 func (r *Router) addPort(p *netPort) {

@@ -3,8 +3,10 @@ package kernel
 import (
 	"livelock/internal/core"
 	"livelock/internal/cpu"
+	"livelock/internal/metrics"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
+	"livelock/internal/stats"
 )
 
 // Gate source names.
@@ -140,6 +142,35 @@ func newPolledPath(r *Router) *polledPath {
 		m.scheduleClockedPoll()
 	}
 	return m
+}
+
+// registerMetrics registers the polled path's instruments: poller
+// activity counters (the per-interval rx delta is quota usage) and the
+// input gate's state, under the same names the unmodified path
+// registers as constants.
+func (m *polledPath) registerMetrics(reg *metrics.Registry) {
+	must := metrics.MustRegister
+	must(reg.Gauge("netisr.pending", func() float64 { return 0 }))
+	must(reg.Counter("poller.wakeups", m.poller.Wakeups))
+	must(reg.Counter("poller.rounds", m.poller.Rounds))
+	must(reg.Counter("poller.rx", m.poller.RxSteps))
+	must(reg.Counter("poller.tx", m.poller.TxSteps))
+	must(reg.Gauge("gate.open", func() float64 {
+		if m.gate.Open() {
+			return 1
+		}
+		return 0
+	}))
+	var fbInhibits, fbTimeouts, clInhibits *stats.Counter
+	if m.feedback != nil {
+		fbInhibits, fbTimeouts = m.feedback.Inhibits, m.feedback.Timeouts
+	}
+	if m.limiter != nil {
+		clInhibits = m.limiter.Inhibits
+	}
+	must(reg.Counter("feedback.inhibits", fbInhibits))
+	must(reg.Counter("feedback.timeouts", fbTimeouts))
+	must(reg.Counter("cyclelimit.inhibits", clInhibits))
 }
 
 // scheduleClockedPoll drives the pure-polling design: the polling thread

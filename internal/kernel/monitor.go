@@ -3,6 +3,7 @@ package kernel
 import (
 	"livelock/internal/core"
 	"livelock/internal/cpu"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -96,6 +97,31 @@ func (r *Router) StartMonitor(cfg MonitorConfig) *Monitor {
 	}
 	r.monitor = m
 	return m
+}
+
+// registerMonitorMetrics registers the capture-tap columns. A monitor
+// is attached after router construction (StartMonitor), so these read
+// through r.monitor at sample time and report zero until — and unless —
+// one exists.
+func (r *Router) registerMonitorMetrics(reg *metrics.Registry) {
+	must := metrics.MustRegister
+	counter := func(read func(*Monitor) uint64) func() uint64 {
+		return func() uint64 {
+			if r.monitor == nil {
+				return 0
+			}
+			return read(r.monitor)
+		}
+	}
+	must(reg.CounterFunc("monitor.captured", counter(func(m *Monitor) uint64 { return m.Captured.Value() })))
+	must(reg.CounterFunc("monitor.dropped", counter(func(m *Monitor) uint64 { return m.Dropped.Value() })))
+	must(reg.CounterFunc("monitor.processed", counter(func(m *Monitor) uint64 { return m.Processed.Value() })))
+	must(reg.Gauge("monitor.backlog", func() float64 {
+		if r.monitor == nil {
+			return 0
+		}
+		return float64(r.monitor.cnt)
+	}))
 }
 
 // Backlog returns the capture-buffer occupancy.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -62,6 +63,17 @@ func newScreendProc(r *Router) *screendProc {
 	}
 	s.rules = append(s.rules, screendRule{bits: 0, allow: true})
 	return s
+}
+
+// registerScreendMetrics registers the screening process's verdict
+// counters, or constant-zero columns when screend is not configured.
+func (r *Router) registerScreendMetrics(reg *metrics.Registry) {
+	var accepted, rejected *stats.Counter
+	if r.screend != nil {
+		accepted, rejected = r.screend.Accepted, r.screend.Rejected
+	}
+	metrics.MustRegister(reg.Counter("screend.accepted", accepted))
+	metrics.MustRegister(reg.Counter("screend.rejected", rejected))
 }
 
 // submit hands a packet from the IP layer to the screening queue. Called

@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"livelock/internal/metrics"
+	"livelock/internal/sim"
+	"livelock/internal/trace"
+	"livelock/internal/workload"
+)
+
+// TimelineOptions configures an instrumented run.
+type TimelineOptions struct {
+	// Interval is the sampling period (default 10ms).
+	Interval sim.Duration
+	// RunFor is the simulated run length (default 1s). Sampling starts
+	// at t=0 — a timeline exists to show the transient, so there is no
+	// warmup exclusion.
+	RunFor sim.Duration
+	// TraceCap, if positive, attaches a packet-lifecycle tracer
+	// retaining the last TraceCap records.
+	TraceCap int
+	// Spans enables per-task CPU scheduling span collection.
+	Spans bool
+}
+
+// TimelineResult is everything an instrumented run produced.
+type TimelineResult struct {
+	Series *metrics.Series
+	// Spans is non-nil when TimelineOptions.Spans was set.
+	Spans *metrics.SpanLog
+	// Trace is non-nil when TimelineOptions.TraceCap was positive.
+	Trace *trace.Tracer
+
+	Sent      uint64
+	Delivered uint64
+}
+
+// RunTimeline builds a router with cfg, offers load at rate pkts/s from
+// t=0, and records a sampled timeline of every registered instrument —
+// the one code path behind lkstat, the lksim/lkfigures timeline flags,
+// and the determinism tests, so they cannot drift apart.
+func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
+	if o.Interval <= 0 {
+		o.Interval = 10 * sim.Millisecond
+	}
+	if o.RunFor <= 0 {
+		o.RunFor = sim.Second
+	}
+	eng := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	if o.TraceCap > 0 {
+		cfg.Trace = trace.New(o.TraceCap)
+	}
+	r := NewRouter(eng, cfg)
+
+	var spans *metrics.SpanLog
+	if o.Spans {
+		spans = metrics.NewSpanLog()
+		r.CPU.SetRunHook(spans.Record)
+	}
+
+	gen := r.AttachGenerator(0, workload.ConstantRate{Rate: rate, JitterFrac: 0.05}, 0)
+	metrics.MustRegister(reg.Counter("gen.sent", gen.Sent))
+	gen.Start()
+
+	sampler := metrics.NewSampler(eng, reg, o.Interval)
+	sampler.Start()
+	eng.Run(sim.Time(o.RunFor))
+	sampler.Flush()
+	sampler.Stop()
+
+	return TimelineResult{
+		Series:    sampler.Series(),
+		Spans:     spans,
+		Trace:     cfg.Trace,
+		Sent:      gen.Sent.Value(),
+		Delivered: r.Delivered(),
+	}
+}

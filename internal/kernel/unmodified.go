@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
 	"livelock/internal/sim"
@@ -51,6 +52,23 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 		})
 	}
 	return u
+}
+
+// registerMetrics registers the interrupt-driven path's instruments.
+// The poller/gate columns exist in every mode; here they are constants
+// (no poller, input never gated) so unmodified-kernel timelines diff
+// cleanly against polled ones.
+func (u *unmodifiedPath) registerMetrics(reg *metrics.Registry) {
+	must := metrics.MustRegister
+	must(reg.Gauge("netisr.pending", func() float64 { return float64(u.softint.Pending()) }))
+	must(reg.Counter("poller.wakeups", nil))
+	must(reg.Counter("poller.rounds", nil))
+	must(reg.Counter("poller.rx", nil))
+	must(reg.Counter("poller.tx", nil))
+	must(reg.Gauge("gate.open", func() float64 { return 1 }))
+	must(reg.Counter("feedback.inhibits", nil))
+	must(reg.Counter("feedback.timeouts", nil))
+	must(reg.Counter("cyclelimit.inhibits", nil))
 }
 
 // rxPktCost returns the device-IPL per-packet cost, with the compat

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/sim"
+)
+
+// RegisterCPU registers the processor's accounting instruments:
+// per-class utilization (the columns of the paper's figures), per-IPL
+// utilization, and the dispatch/preemption counters.
+//
+// cpu.rxipl.util is the headline livelock signal: the fraction of each
+// interval spent at the receive-path interrupt levels (device + soft).
+// Under livelock it pins at ~1 minus the clock overhead while the
+// "delivered" delta goes to zero — the CPU is busier than ever doing
+// work that is all eventually thrown away.
+func RegisterCPU(reg *Registry, c *cpu.CPU) error {
+	if err := reg.Utilization("cpu.idle.util", c.IdleTime); err != nil {
+		return err
+	}
+	classes := []cpu.Class{
+		cpu.ClassIntr, cpu.ClassSoft, cpu.ClassKernel,
+		cpu.ClassUser, cpu.ClassClock,
+	}
+	for _, cl := range classes {
+		cl := cl
+		err := reg.Utilization("cpu."+cl.String()+".util", func() sim.Duration {
+			return c.ClassTime(cl)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	levels := []cpu.IPL{cpu.IPLThread, cpu.IPLSoft, cpu.IPLDevice, cpu.IPLClock}
+	for _, l := range levels {
+		l := l
+		err := reg.Utilization("cpu.ipl."+l.String()+".util", func() sim.Duration {
+			return c.IPLTime(l)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := reg.Utilization("cpu.rxipl.util", func() sim.Duration {
+		return c.IPLTime(cpu.IPLDevice) + c.IPLTime(cpu.IPLSoft)
+	}); err != nil {
+		return err
+	}
+	if err := reg.Utilization("cpu.raisedipl.util", c.RaisedIPLTime); err != nil {
+		return err
+	}
+	if err := reg.CounterFunc("cpu.dispatches", c.Dispatches); err != nil {
+		return err
+	}
+	return reg.CounterFunc("cpu.preemptions", c.Preemptions)
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"strings"
+
+	"livelock/internal/sim"
+	"livelock/internal/trace"
+)
+
+// This file exports a whole run as Chrome/Perfetto trace-event JSON
+// (the "JSON Array Format" accepted by ui.perfetto.dev and
+// chrome://tracing). Three event families are merged onto one time
+// axis:
+//
+//   - per-task CPU scheduling spans ("X" complete events) from a
+//     SpanLog, one Perfetto thread per simulated task, so preemption
+//     and starvation are visible as gaps;
+//   - counter tracks ("C" events) from a sampled Series, one track per
+//     instrument, plotting queue depths, per-interval deltas, and
+//     utilizations over the run;
+//   - packet-lifecycle instants ("i" events) from a trace.Tracer, so an
+//     individual drop decision can be correlated with the CPU and
+//     queue state at that exact instant.
+//
+// All encoding is hand-rolled with fixed float formats: the output for
+// a given simulation is byte-identical everywhere.
+
+// Perfetto synthetic process ids: pid 1 carries the CPU scheduling
+// spans and packet instants, pid 2 carries the counter tracks.
+const (
+	perfettoCPUPid     = 1
+	perfettoCounterPid = 2
+)
+
+// usTS renders a simulated instant as a trace-event timestamp
+// (microseconds, nanosecond precision preserved as fractions).
+func usTS(t sim.Time) string {
+	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
+}
+
+// usDur renders a simulated duration in microseconds.
+func usDur(d sim.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e3, 'f', 3, 64)
+}
+
+// PerfettoTrace assembles one run's exportable views.
+type PerfettoTrace struct {
+	// Series, if non-nil, contributes one counter track per instrument.
+	Series *Series
+	// Spans, if non-nil, contributes per-task scheduling tracks.
+	Spans *SpanLog
+	// Events, if non-nil, contributes packet-lifecycle instants.
+	Events *trace.Tracer
+	// ProcessName labels the CPU process track (default "router").
+	ProcessName string
+}
+
+// WriteTo emits the merged trace-event JSON. It implements
+// io.WriterTo.
+func (p *PerfettoTrace) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(ev string) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(ev)
+	}
+
+	name := p.ProcessName
+	if name == "" {
+		name = "router"
+	}
+	emit(metaEvent("process_name", perfettoCPUPid, -1, name+" (cpu)"))
+	emit(metaEvent("process_name", perfettoCounterPid, -1, name+" (metrics)"))
+
+	if p.Spans != nil {
+		for tid, task := range p.Spans.Tasks() {
+			emit(metaEvent("thread_name", perfettoCPUPid, tid, task))
+		}
+		for _, s := range p.Spans.Spans() {
+			var e strings.Builder
+			e.WriteString("{\"ph\":\"X\",\"name\":")
+			e.WriteString(strconv.Quote(s.Task))
+			e.WriteString(",\"cat\":")
+			e.WriteString(strconv.Quote(s.Class.String()))
+			e.WriteString(",\"ts\":")
+			e.WriteString(usTS(s.Start))
+			e.WriteString(",\"dur\":")
+			e.WriteString(usDur(s.End.Sub(s.Start)))
+			e.WriteString(",\"pid\":1,\"tid\":")
+			e.WriteString(strconv.Itoa(p.Spans.TID(s.Task)))
+			e.WriteString(",\"args\":{\"ipl\":")
+			e.WriteString(strconv.Quote(s.IPL.String()))
+			e.WriteString("}}")
+			emit(e.String())
+		}
+	}
+
+	if p.Series != nil {
+		for _, smp := range p.Series.Samples {
+			for i, v := range smp.Values {
+				var e strings.Builder
+				e.WriteString("{\"ph\":\"C\",\"name\":")
+				e.WriteString(strconv.Quote(p.Series.Names[i]))
+				e.WriteString(",\"ts\":")
+				e.WriteString(usTS(smp.At))
+				e.WriteString(",\"pid\":2,\"args\":{\"value\":")
+				e.WriteString(formatValue(p.Series.Kinds[i], v))
+				e.WriteString("}}")
+				emit(e.String())
+			}
+		}
+	}
+
+	if p.Events != nil {
+		for _, rec := range p.Events.Records() {
+			var e strings.Builder
+			e.WriteString("{\"ph\":\"i\",\"s\":\"p\",\"name\":")
+			e.WriteString(strconv.Quote(rec.Event))
+			e.WriteString(",\"cat\":\"packet\",\"ts\":")
+			e.WriteString(usTS(rec.At))
+			e.WriteString(",\"pid\":1,\"tid\":0,\"args\":{\"pkt\":")
+			e.WriteString(strconv.FormatUint(rec.Pkt, 10))
+			e.WriteString("}}")
+			emit(e.String())
+		}
+	}
+
+	b.WriteString("\n]}\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// metaEvent renders a Perfetto metadata ("M") event. tid < 0 omits the
+// thread id (process-level metadata).
+func metaEvent(kind string, pid, tid int, name string) string {
+	var e strings.Builder
+	e.WriteString("{\"ph\":\"M\",\"name\":")
+	e.WriteString(strconv.Quote(kind))
+	e.WriteString(",\"pid\":")
+	e.WriteString(strconv.Itoa(pid))
+	if tid >= 0 {
+		e.WriteString(",\"tid\":")
+		e.WriteString(strconv.Itoa(tid))
+	}
+	e.WriteString(",\"args\":{\"name\":")
+	e.WriteString(strconv.Quote(name))
+	e.WriteString("}}")
+	return e.String()
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"livelock/internal/sim"
+)
+
+// Sample is one row of the timeline: the instant it was taken and one
+// value per registered instrument, in registration order.
+type Sample struct {
+	At     sim.Time
+	Values []float64
+}
+
+// Sampler periodically snapshots a Registry into an in-memory
+// time-series. It is driven entirely by the simulation engine: samples
+// are taken exactly at interval edges (t = interval, 2·interval, ...),
+// counters report the delta since the previous edge (via
+// stats.Counter-style Delta semantics, so no event is counted twice and
+// none is missed), utilization instruments report busy-delta/interval,
+// and gauges report the point-in-time value at the edge.
+type Sampler struct {
+	eng      *sim.Engine
+	reg      *Registry
+	interval sim.Duration
+
+	prevCount []uint64       // last counter readings, per instrument
+	prevBusy  []sim.Duration // last utilization readings
+	lastAt    sim.Time
+
+	samples []Sample
+	event   *sim.Event
+}
+
+// NewSampler returns a sampler over reg with the given interval. The
+// registry must be fully populated before Start: the instrument set at
+// Start time is the schema for the whole run.
+func NewSampler(eng *sim.Engine, reg *Registry, interval sim.Duration) *Sampler {
+	if interval <= 0 {
+		panic("metrics: non-positive sample interval")
+	}
+	return &Sampler{eng: eng, reg: reg, interval: interval}
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() sim.Duration { return s.interval }
+
+// Start takes the baseline readings at the current instant and
+// schedules the first sample one interval later.
+func (s *Sampler) Start() {
+	s.prevCount = make([]uint64, len(s.reg.instruments))
+	s.prevBusy = make([]sim.Duration, len(s.reg.instruments))
+	s.lastAt = s.eng.Now()
+	for i, in := range s.reg.instruments {
+		switch in.kind {
+		case KindCounter:
+			s.prevCount[i] = in.counter()
+		case KindUtilization:
+			s.prevBusy[i] = in.busy()
+		}
+	}
+	s.event = s.eng.After(s.interval, s.tick)
+}
+
+// Stop cancels the pending sample event. Rows already recorded are
+// kept; call Flush first to capture a final partial interval.
+func (s *Sampler) Stop() {
+	if s.event != nil {
+		s.eng.Cancel(s.event)
+		s.event = nil
+	}
+}
+
+// Flush records one extra sample covering the partial interval since
+// the last edge, if any simulated time has passed. Deltas and
+// utilization are computed over the actual elapsed span.
+func (s *Sampler) Flush() {
+	if s.eng.Now() > s.lastAt {
+		s.snapshot()
+	}
+}
+
+func (s *Sampler) tick() {
+	s.snapshot()
+	s.event = s.eng.After(s.interval, s.tick)
+}
+
+func (s *Sampler) snapshot() {
+	now := s.eng.Now()
+	dt := now.Sub(s.lastAt)
+	row := Sample{At: now, Values: make([]float64, len(s.reg.instruments))}
+	for i, in := range s.reg.instruments {
+		switch in.kind {
+		case KindCounter:
+			cur := in.counter()
+			row.Values[i] = float64(cur - s.prevCount[i])
+			s.prevCount[i] = cur
+		case KindGauge:
+			row.Values[i] = in.gauge()
+		case KindUtilization:
+			cur := in.busy()
+			if dt > 0 {
+				row.Values[i] = float64(cur-s.prevBusy[i]) / float64(dt)
+			}
+			s.prevBusy[i] = cur
+		}
+	}
+	s.lastAt = now
+	s.samples = append(s.samples, row)
+}
+
+// Series returns the recorded timeline. The result shares no state
+// with the sampler and is safe to keep after the engine is discarded.
+func (s *Sampler) Series() *Series {
+	out := &Series{
+		Interval: s.interval,
+		Names:    s.reg.Names(),
+		Kinds:    make([]Kind, len(s.reg.instruments)),
+		Samples:  make([]Sample, len(s.samples)),
+	}
+	for i, in := range s.reg.instruments {
+		out.Kinds[i] = in.kind
+	}
+	copy(out.Samples, s.samples)
+	return out
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"livelock/internal/sim"
+)
+
+// Series is a recorded timeline: a fixed instrument schema plus one
+// Sample row per interval edge. All rendering is deterministic — stable
+// column order (registration order), fixed numeric formats — so golden
+// tests and the parallel executor's byte-identical guarantee hold.
+type Series struct {
+	Interval sim.Duration
+	Names    []string
+	Kinds    []Kind
+	Samples  []Sample
+}
+
+// formatValue renders one cell with a kind-appropriate fixed format:
+// counters are integral deltas, utilization is a 4-digit fraction, and
+// gauges use the shortest round-trip float form.
+func formatValue(k Kind, v float64) string {
+	switch k {
+	case KindCounter:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case KindUtilization:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WriteCSV renders the wide timeline: a time_s column then one column
+// per instrument in registration order.
+func (s *Series) WriteCSV(w io.Writer) error {
+	header := append([]string{"time_s"}, s.Names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(s.Names)+1)
+	for _, smp := range s.Samples {
+		row = row[:0]
+		row = append(row, strconv.FormatFloat(sim.Duration(smp.At).Seconds(), 'f', 6, 64))
+		for i, v := range smp.Values {
+			row = append(row, formatValue(s.Kinds[i], v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the timeline as a single JSON object with the
+// schema ({name, kind} pairs) and the sample rows. The encoding is
+// hand-rolled so field order and float formatting are fixed.
+func (s *Series) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"interval_s\": ")
+	b.WriteString(strconv.FormatFloat(s.Interval.Seconds(), 'f', 6, 64))
+	b.WriteString(",\n  \"instruments\": [")
+	for i, name := range s.Names {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n    {\"name\": ")
+		b.WriteString(strconv.Quote(name))
+		b.WriteString(", \"kind\": ")
+		b.WriteString(strconv.Quote(s.Kinds[i].String()))
+		b.WriteString("}")
+	}
+	b.WriteString("\n  ],\n  \"samples\": [")
+	for i, smp := range s.Samples {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n    {\"t\": ")
+		b.WriteString(strconv.FormatFloat(sim.Duration(smp.At).Seconds(), 'f', 6, 64))
+		b.WriteString(", \"values\": [")
+		for j, v := range smp.Values {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(formatValue(s.Kinds[j], v))
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Column returns the index of the named instrument, or -1.
+func (s *Series) Column(name string) int {
+	for i, n := range s.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteTable renders an aligned text table restricted to the named
+// columns (all columns when names is empty — wide, but legible for
+// small registries). Unknown names are ignored.
+func (s *Series) WriteTable(w io.Writer, names ...string) error {
+	cols := make([]int, 0, len(names))
+	if len(names) == 0 {
+		for i := range s.Names {
+			cols = append(cols, i)
+		}
+	} else {
+		for _, n := range names {
+			if i := s.Column(n); i >= 0 {
+				cols = append(cols, i)
+			}
+		}
+	}
+	width := 10
+	if _, err := fmt.Fprintf(w, "%-10s", "time_s"); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if len(s.Names[c])+2 > width {
+			fmt.Fprintf(w, "  %s", s.Names[c])
+		} else {
+			fmt.Fprintf(w, "%*s", width+2, s.Names[c])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, smp := range s.Samples {
+		fmt.Fprintf(w, "%-10.4f", sim.Duration(smp.At).Seconds())
+		for _, c := range cols {
+			cell := formatValue(s.Kinds[c], smp.Values[c])
+			pad := len(s.Names[c]) + 2
+			if pad < width+2 {
+				pad = width + 2
+			}
+			if _, err := fmt.Fprintf(w, "%*s", pad, cell); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/sim"
+)
+
+// Span is one contiguous stretch of CPU time a task actually held the
+// processor: [Start, End) ended by either item completion or
+// preemption. A sequence of spans for one task is exactly its
+// scheduling timeline, Perfetto-style.
+type Span struct {
+	Task  string
+	Class cpu.Class
+	IPL   cpu.IPL
+	Start sim.Time
+	End   sim.Time
+}
+
+// SpanLog collects per-task CPU scheduling spans from the cpu package's
+// run hook. Tasks are assigned dense thread ids in order of first
+// appearance, which is deterministic because the simulation itself is.
+type SpanLog struct {
+	spans []Span
+	tids  map[string]int
+	order []string // task names in tid order
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog {
+	return &SpanLog{tids: make(map[string]int)}
+}
+
+// Record is the cpu.CPU run-hook adapter: it logs one executed span.
+// Zero-length spans (pure action items with no cost) are skipped; they
+// carry no schedulable time and would only clutter the trace.
+func (l *SpanLog) Record(t *cpu.Task, start, end sim.Time) {
+	if end <= start {
+		return
+	}
+	name := t.Name()
+	if _, seen := l.tids[name]; !seen {
+		l.tids[name] = len(l.order)
+		l.order = append(l.order, name)
+	}
+	l.spans = append(l.spans, Span{
+		Task:  name,
+		Class: t.Class(),
+		IPL:   t.IPL(),
+		Start: start,
+		End:   end,
+	})
+}
+
+// Len returns the number of recorded spans.
+func (l *SpanLog) Len() int { return len(l.spans) }
+
+// Spans returns the recorded spans in execution order.
+func (l *SpanLog) Spans() []Span { return l.spans }
+
+// Tasks returns the task names in thread-id order (first appearance).
+func (l *SpanLog) Tasks() []string { return l.order }
+
+// TID returns the dense thread id for a task name, or -1.
+func (l *SpanLog) TID(task string) int {
+	if id, ok := l.tids[task]; ok {
+		return id
+	}
+	return -1
+}

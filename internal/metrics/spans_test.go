@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"livelock/internal/cpu"
+	"livelock/internal/sim"
+)
+
+func TestSpanLogAssignsDenseTIDs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := cpu.New(eng)
+	a := c.NewTask("a", cpu.IPLDevice, 0, cpu.ClassIntr)
+	b := c.NewTask("b", cpu.IPLSoft, 0, cpu.ClassSoft)
+
+	l := NewSpanLog()
+	l.Record(a, 0, sim.Time(5))
+	l.Record(b, sim.Time(5), sim.Time(9))
+	l.Record(a, sim.Time(9), sim.Time(12))
+	l.Record(a, sim.Time(12), sim.Time(12)) // zero-length: skipped
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.TID("a") != 0 || l.TID("b") != 1 || l.TID("zzz") != -1 {
+		t.Fatalf("TIDs a=%d b=%d zzz=%d", l.TID("a"), l.TID("b"), l.TID("zzz"))
+	}
+	tasks := l.Tasks()
+	if len(tasks) != 2 || tasks[0] != "a" || tasks[1] != "b" {
+		t.Fatalf("Tasks = %v", tasks)
+	}
+	s := l.Spans()[1]
+	if s.Task != "b" || s.Class != cpu.ClassSoft || s.IPL != cpu.IPLSoft {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+// TestCPURunHookProducesSpans drives a real CPU and checks the run hook
+// reports contiguous, non-overlapping execution spans that add up to the
+// busy time — including the split caused by a preemption.
+func TestCPURunHookProducesSpans(t *testing.T) {
+	eng := sim.NewEngine()
+	c := cpu.New(eng)
+	l := NewSpanLog()
+	c.SetRunHook(l.Record)
+
+	low := c.NewTask("low", cpu.IPLThread, 0, cpu.ClassUser)
+	high := c.NewTask("high", cpu.IPLDevice, 0, cpu.ClassIntr)
+
+	low.Post(10*sim.Microsecond, nil)
+	eng.After(4*sim.Microsecond, func() { high.Post(3*sim.Microsecond, nil) })
+	eng.Run(sim.Time(sim.Second))
+
+	var total sim.Duration
+	var prevEnd sim.Time
+	for _, s := range l.Spans() {
+		if s.Start < prevEnd {
+			t.Fatalf("overlapping spans: %+v", l.Spans())
+		}
+		total += s.End.Sub(s.Start)
+		prevEnd = s.End
+	}
+	if total != 13*sim.Microsecond {
+		t.Fatalf("span time = %v, want 13µs", total)
+	}
+	// low must appear twice (split by the preemption), high once.
+	var lowSpans, highSpans int
+	for _, s := range l.Spans() {
+		switch s.Task {
+		case "low":
+			lowSpans++
+		case "high":
+			highSpans++
+		}
+	}
+	if lowSpans != 2 || highSpans != 1 {
+		t.Fatalf("low=%d high=%d spans, want 2 and 1 (preemption split)", lowSpans, highSpans)
+	}
+
+	// The Perfetto export of real spans must parse and carry thread
+	// metadata for both tasks.
+	p := &PerfettoTrace{Spans: l}
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("span trace does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		}
+	}
+	if !names["low"] || !names["high"] {
+		t.Fatalf("thread_name metadata missing: %v", names)
+	}
+}

@@ -3,6 +3,7 @@ package nic
 import (
 	"fmt"
 
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -84,6 +85,29 @@ func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire)
 
 // Name returns the interface name.
 func (n *NIC) Name() string { return n.name }
+
+// RegisterMetrics registers the interface's SNMP-style counters and
+// ring-occupancy gauges under the NIC's name. rxring pegged at capacity
+// means the hardware is dropping at zero CPU cost; txfree pegged at the
+// ring size alongside a non-empty output queue is transmit starvation.
+func (n *NIC) RegisterMetrics(reg *metrics.Registry) error {
+	if err := reg.Counter(n.name+".ipkts", n.InPkts); err != nil {
+		return err
+	}
+	if err := reg.Counter(n.name+".idiscards", n.InDiscards); err != nil {
+		return err
+	}
+	if err := reg.Counter(n.name+".opkts", n.OutPkts); err != nil {
+		return err
+	}
+	if err := reg.Gauge(n.name+".rxring", func() float64 { return float64(n.rxCount) }); err != nil {
+		return err
+	}
+	if err := reg.Gauge(n.name+".txfree", func() float64 { return float64(n.TxDescriptorsFree()) }); err != nil {
+		return err
+	}
+	return reg.Gauge(n.name+".txreclaim", func() float64 { return float64(n.txCompleted) })
+}
 
 // MAC returns the interface hardware address.
 func (n *NIC) MAC() netstack.MAC { return n.mac }

@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -51,6 +52,20 @@ func NewSink(eng *sim.Engine, name string) *Sink {
 		Latency:     stats.NewHistogram(name + ".latency"),
 		Validate:    true,
 	}
+}
+
+// RegisterMetrics registers the sink's delivery counters and its
+// end-to-end latency histogram. The per-interval delta of "delivered"
+// is the timeline's output-rate curve; it collapsing to zero while
+// input counters keep climbing is the definition of livelock.
+func (s *Sink) RegisterMetrics(reg *metrics.Registry) error {
+	if err := reg.Counter("delivered", s.Delivered); err != nil {
+		return err
+	}
+	if err := reg.Counter("sink.malformed", s.Malformed); err != nil {
+		return err
+	}
+	return reg.Histogram("latency", s.Latency)
 }
 
 // DeliverFrame implements Receiver.

@@ -6,6 +6,7 @@
 package queue
 
 import (
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -138,6 +139,21 @@ func (q *Queue) Dequeue() *netstack.Packet {
 // AboveHigh reports whether the queue is in the above-high-watermark
 // regime (i.e. OnHigh has fired and OnLow has not yet).
 func (q *Queue) AboveHigh() bool { return q.high }
+
+// RegisterMetrics registers the queue's instruments under its name: a
+// point-in-time depth gauge plus the drop and enqueue counters. The
+// depth gauge is the timeline's livelock tell — a queue pegged at
+// capacity for whole sample intervals means every marginal packet is
+// dropped after upstream work was invested in it.
+func (q *Queue) RegisterMetrics(reg *metrics.Registry) error {
+	if err := reg.Gauge(q.name+".depth", func() float64 { return float64(q.count) }); err != nil {
+		return err
+	}
+	if err := reg.Counter(q.name+".drops", q.Drops); err != nil {
+		return err
+	}
+	return reg.Counter(q.name+".enq", q.Enqueued)
+}
 
 // Flush releases all queued packets and returns how many were
 // discarded. Used at teardown: unlike Dequeue it never fires the OnLow

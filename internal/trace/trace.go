@@ -3,6 +3,15 @@
 // The kernel emits records at every decision point — ring accept/drop,
 // queue enqueue/drop, forwarding, screening, transmit — so a short
 // traced run shows exactly where a given packet spent time or died.
+//
+// Ring eviction: the tracer retains only the most recent capacity
+// records. When a new record arrives with the ring full, the oldest
+// retained record is evicted to make room; Total still counts every
+// record ever emitted. By default evicted records are silently
+// discarded (the right behaviour for "show me the last N events before
+// the interesting moment"); long timeline runs that need the complete
+// stream can install an OnEvict sink and stream evicted records to
+// disk instead of losing them.
 package trace
 
 import (
@@ -30,6 +39,11 @@ type Tracer struct {
 	buf   []Record
 	next  int
 	total uint64
+
+	// OnEvict, if non-nil, observes each record displaced from the ring
+	// by a newer one, in emission order, before it is overwritten. It
+	// must not call back into the Tracer.
+	OnEvict func(Record)
 }
 
 // New returns a tracer retaining the last capacity records.
@@ -46,6 +60,9 @@ func (t *Tracer) Emit(at sim.Time, event string, pkt uint64) {
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, r)
 	} else {
+		if t.OnEvict != nil {
+			t.OnEvict(t.buf[t.next])
+		}
 		t.buf[t.next] = r
 		t.next = (t.next + 1) % cap(t.buf)
 	}
@@ -54,6 +71,17 @@ func (t *Tracer) Emit(at sim.Time, event string, pkt uint64) {
 
 // Total returns the number of events emitted (including evicted ones).
 func (t *Tracer) Total() uint64 { return t.total }
+
+// Reset discards all retained records and zeroes the emitted-event
+// total, keeping the capacity and the OnEvict sink. Records dropped by
+// Reset are not reported to OnEvict — they were not displaced by newer
+// ones, the caller explicitly threw them away (e.g. at the end of a
+// warmup window).
+func (t *Tracer) Reset() {
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.total = 0
+}
 
 // Records returns the retained records, oldest first.
 func (t *Tracer) Records() []Record {

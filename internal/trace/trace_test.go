@@ -67,6 +67,57 @@ func TestTracerWriteTo(t *testing.T) {
 	}
 }
 
+func TestTracerReset(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(sim.Time(i), "ev", uint64(i))
+	}
+	tr.Reset()
+	if len(tr.Records()) != 0 || tr.Total() != 0 {
+		t.Fatalf("Reset left %d records, total %d", len(tr.Records()), tr.Total())
+	}
+	// Capacity survives and the ring fills from the start again.
+	for i := 10; i < 14; i++ {
+		tr.Emit(sim.Time(i), "ev", uint64(i))
+	}
+	recs := tr.Records()
+	want := []uint64{11, 12, 13}
+	if len(recs) != 3 {
+		t.Fatalf("len = %d after refill", len(recs))
+	}
+	for i, r := range recs {
+		if r.Pkt != want[i] {
+			t.Fatalf("records = %v, want pkts %v", recs, want)
+		}
+	}
+}
+
+func TestTracerOnEvict(t *testing.T) {
+	tr := New(3)
+	var evicted []uint64
+	tr.OnEvict = func(r Record) { evicted = append(evicted, r.Pkt) }
+	for i := 0; i < 7; i++ {
+		tr.Emit(sim.Time(i), "ev", uint64(i))
+	}
+	// Ring keeps the last 3; the first 4 must stream out in emission
+	// order, so OnEvict + Records together see every record exactly once.
+	want := []uint64{0, 1, 2, 3}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	for i, p := range evicted {
+		if p != want[i] {
+			t.Fatalf("evicted %v, want %v", evicted, want)
+		}
+	}
+	// Reset discards retained records without reporting them as evicted.
+	evicted = evicted[:0]
+	tr.Reset()
+	if len(evicted) != 0 {
+		t.Fatalf("Reset reported %v to OnEvict", evicted)
+	}
+}
+
 func TestTracerValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -30,8 +30,10 @@ import (
 
 	"livelock/internal/experiment"
 	"livelock/internal/kernel"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/sim"
+	"livelock/internal/trace"
 	"livelock/internal/workload"
 )
 
@@ -231,6 +233,50 @@ func TransmitStarvation(o Options) experiment.StarvationResult {
 // polling) alternative across poll intervals.
 func ClockedPollingSweep(intervals []Duration, o Options) []experiment.ClockedPoint {
 	return experiment.ClockedPollingSweep(intervals, o)
+}
+
+// Observability layer (see the metrics package): a per-router
+// instrument registry sampled on a simulated-time interval, exportable
+// as CSV/JSON time-series or Chrome/Perfetto trace JSON.
+type (
+	// MetricsRegistry is the ordered set of named instruments a router
+	// registers when Config.Metrics is set.
+	MetricsRegistry = metrics.Registry
+	// Sampler snapshots a registry at fixed simulated-time intervals.
+	Sampler = metrics.Sampler
+	// TimelineSeries is a recorded timeline (schema + sample rows).
+	TimelineSeries = metrics.Series
+	// SpanLog collects per-task CPU scheduling spans.
+	SpanLog = metrics.SpanLog
+	// PerfettoTrace merges a timeline, scheduling spans, and packet
+	// lifecycle events into one ui.perfetto.dev-openable trace.
+	PerfettoTrace = metrics.PerfettoTrace
+	// Tracer is the bounded packet-lifecycle event ring.
+	Tracer = trace.Tracer
+	// TimelineOptions configures RunTimeline.
+	TimelineOptions = kernel.TimelineOptions
+	// TimelineResult is an instrumented run's output.
+	TimelineResult = kernel.TimelineResult
+)
+
+// NewMetricsRegistry returns an empty instrument registry for
+// Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewSampler returns a sampler over reg ticking every interval.
+func NewSampler(eng *Engine, reg *MetricsRegistry, interval Duration) *Sampler {
+	return metrics.NewSampler(eng, reg, interval)
+}
+
+// NewTracer returns a packet-lifecycle tracer retaining the last
+// capacity records, for Config.Trace.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// RunTimeline offers a constant-rate load to a fresh router and records
+// a sampled timeline of every instrument (plus, optionally, CPU
+// scheduling spans and packet lifecycle events).
+func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
+	return kernel.RunTimeline(cfg, rate, o)
 }
 
 // TCP types for §7.1's end-system transport experiment.
