@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures plots examples cover clean
+.PHONY: all build test vet bench figures plots examples cover fuzz clean
 
 all: build vet test
 
@@ -41,6 +41,17 @@ examples:
 
 cover:
 	$(GO) test -cover ./...
+
+# Short fuzz pass over every netstack wire-format decoder (CI runs the
+# same loop). Override FUZZTIME for longer local hunts; crashes land in
+# internal/netstack/testdata/fuzz/ — commit them as regression seeds.
+FUZZTIME ?= 10s
+fuzz:
+	for target in FuzzIPv4Unmarshal FuzzUDPParse FuzzTCPParse \
+	              FuzzARPParse FuzzICMPParse FuzzFragReassembly; do \
+		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" \
+			-fuzztime=$(FUZZTIME) ./internal/netstack/ || exit 1; \
+	done
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -45,6 +45,18 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	timeline := fs.String("timeline", "", "record a sampled time-series of the run (incl. warmup) to this CSV file")
 	tlInterval := fs.Duration("timeline-interval", 10*time.Millisecond, "sampling interval for -timeline")
+	faultDrop := fs.Float64("fault-drop", 0, "wire fault: per-frame drop probability")
+	faultTruncate := fs.Float64("fault-truncate", 0, "wire fault: per-frame truncation probability")
+	faultCorrupt := fs.Float64("fault-corrupt", 0, "wire fault: per-frame bit-corruption probability")
+	faultDup := fs.Float64("fault-dup", 0, "wire fault: per-frame duplication probability")
+	faultDelay := fs.Float64("fault-delay", 0, "wire fault: per-frame extra-delay probability (reordering)")
+	faultStall := fs.Duration("fault-stall", 0, "device fault: rx stall window length (0 = off)")
+	faultStallPeriod := fs.Duration("fault-stall-period", 100*time.Millisecond, "device fault: rx stall window period")
+	faultReset := fs.Bool("fault-reset", false, "device fault: discard the rx ring when a stall window opens")
+	faultIntrLoss := fs.Float64("fault-intr-loss", 0, "device fault: receive-interrupt loss probability")
+	faultPause := fs.Duration("fault-screend-pause", 0, "process fault: screend pause window length (0 = off)")
+	faultPausePeriod := fs.Duration("fault-screend-pause-period", 100*time.Millisecond, "process fault: screend pause period")
+	faultSeed := fs.Uint64("fault-seed", 0, "fault RNG seed perturbation (0 derives from -seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +69,26 @@ func run(args []string, w io.Writer) error {
 		CycleLimitThreshold: *cycleLimit,
 		UserProcess:         *user,
 		Seed:                *seed,
+		Fault: livelock.FaultConfig{
+			DropProb:             *faultDrop,
+			TruncateProb:         *faultTruncate,
+			CorruptProb:          *faultCorrupt,
+			DupProb:              *faultDup,
+			DelayProb:            *faultDelay,
+			StallPeriod:          livelock.Duration((*faultStallPeriod).Nanoseconds()),
+			StallDuration:        livelock.Duration((*faultStall).Nanoseconds()),
+			ResetOnStall:         *faultReset,
+			IntrLossProb:         *faultIntrLoss,
+			ScreendPausePeriod:   livelock.Duration((*faultPausePeriod).Nanoseconds()),
+			ScreendPauseDuration: livelock.Duration((*faultPause).Nanoseconds()),
+			Seed:                 *faultSeed,
+		},
+	}
+	if *faultStall <= 0 {
+		cfg.Fault.StallPeriod = 0
+	}
+	if *faultPause <= 0 {
+		cfg.Fault.ScreendPausePeriod = 0
 	}
 	switch *mode {
 	case "unmodified":
@@ -134,9 +166,17 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "  filter rejects   %10d\n", a.FilterDrops)
 	fmt.Fprintf(w, "  forward errors   %10d\n", a.FwdErrors)
 	fmt.Fprintf(w, "  malformed        %10d\n", a.Malformed)
+	if cfg.Fault.Enabled() {
+		fmt.Fprintf(w, "  bad checksums    %10d (fault: corrupted)\n", a.BadChecksums)
+		fmt.Fprintf(w, "  truncated        %10d (fault: cut short)\n", a.Truncated)
+		fmt.Fprintf(w, "  wire drops       %10d (fault: lost in transit)\n", a.WireDrops)
+		fmt.Fprintf(w, "  stall drops      %10d (fault: device stalled)\n", a.StallDrops)
+		fmt.Fprintf(w, "  reset drops      %10d (fault: rx ring reset)\n", a.ResetDrops)
+		fmt.Fprintf(w, "  duplicated       %10d (fault: extra copies)\n", a.Duplicated)
+	}
 	fmt.Fprintf(w, "  still buffered   %10d\n", a.Alive)
-	if got := a.Delivered + a.Dropped() + uint64(a.Alive); got != gen.Sent.Value() {
-		return fmt.Errorf("conservation violated: %d accounted of %d generated", got, gen.Sent.Value())
+	if err := r.Audit(gen.Sent.Value()); err != nil {
+		return err
 	}
 	fmt.Fprintln(w, "  conservation     OK")
 

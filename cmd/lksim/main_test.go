@@ -53,6 +53,38 @@ func TestRunPoisson(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "polled", "-rate", "6000",
+		"-fault-drop", "0.02", "-fault-corrupt", "0.05", "-fault-truncate", "0.02",
+		"-fault-dup", "0.02", "-fault-delay", "0.02",
+		"-fault-stall", "5ms", "-fault-stall-period", "100ms", "-fault-reset",
+		"-fault-intr-loss", "0.01",
+		"-warmup", "200ms", "-measure", "500ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"conservation     OK", "wire drops", "bad checksums", "stall drops"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScreendPauseFault(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "unmodified", "-screend", "-rate", "3000",
+		"-fault-screend-pause", "20ms", "-fault-screend-pause-period", "100ms",
+		"-warmup", "200ms", "-measure", "500ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "conservation     OK") {
+		t.Fatalf("missing conservation line:\n%s", buf.String())
+	}
+}
+
 func TestRunBadMode(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-mode", "bogus"}, &buf); err == nil {

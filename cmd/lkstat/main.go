@@ -73,6 +73,18 @@ func run(args []string, w io.Writer) error {
 	columns := fs.String("columns", "", "comma-separated column subset for -format table")
 	traceCap := fs.Int("trace", 4096, "packet-lifecycle ring size for -format perfetto; 0 = off")
 	validate := fs.String("validate", "", "validate a previously written JSON/Perfetto file and exit")
+	faultDrop := fs.Float64("fault-drop", 0, "wire fault: per-frame drop probability")
+	faultTruncate := fs.Float64("fault-truncate", 0, "wire fault: per-frame truncation probability")
+	faultCorrupt := fs.Float64("fault-corrupt", 0, "wire fault: per-frame bit-corruption probability")
+	faultDup := fs.Float64("fault-dup", 0, "wire fault: per-frame duplication probability")
+	faultDelay := fs.Float64("fault-delay", 0, "wire fault: per-frame extra-delay probability (reordering)")
+	faultStall := fs.Duration("fault-stall", 0, "device fault: rx stall window length (0 = off)")
+	faultStallPeriod := fs.Duration("fault-stall-period", 100*time.Millisecond, "device fault: rx stall window period")
+	faultReset := fs.Bool("fault-reset", false, "device fault: discard the rx ring when a stall window opens")
+	faultIntrLoss := fs.Float64("fault-intr-loss", 0, "device fault: receive-interrupt loss probability")
+	faultPause := fs.Duration("fault-screend-pause", 0, "process fault: screend pause window length (0 = off)")
+	faultPausePeriod := fs.Duration("fault-screend-pause-period", 100*time.Millisecond, "process fault: screend pause period")
+	faultSeed := fs.Uint64("fault-seed", 0, "fault RNG seed perturbation (0 derives from -seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +101,26 @@ func run(args []string, w io.Writer) error {
 		CycleLimitThreshold: *cycleLimit,
 		UserProcess:         *user,
 		Seed:                *seed,
+		Fault: livelock.FaultConfig{
+			DropProb:             *faultDrop,
+			TruncateProb:         *faultTruncate,
+			CorruptProb:          *faultCorrupt,
+			DupProb:              *faultDup,
+			DelayProb:            *faultDelay,
+			StallPeriod:          livelock.Duration((*faultStallPeriod).Nanoseconds()),
+			StallDuration:        livelock.Duration((*faultStall).Nanoseconds()),
+			ResetOnStall:         *faultReset,
+			IntrLossProb:         *faultIntrLoss,
+			ScreendPausePeriod:   livelock.Duration((*faultPausePeriod).Nanoseconds()),
+			ScreendPauseDuration: livelock.Duration((*faultPause).Nanoseconds()),
+			Seed:                 *faultSeed,
+		},
+	}
+	if *faultStall <= 0 {
+		cfg.Fault.StallPeriod = 0
+	}
+	if *faultPause <= 0 {
+		cfg.Fault.ScreendPausePeriod = 0
 	}
 	switch *mode {
 	case "unmodified":

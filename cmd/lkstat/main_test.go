@@ -119,6 +119,43 @@ func TestCSVDeterministicAndShowsLivelock(t *testing.T) {
 	}
 }
 
+// TestFaultTimelineValidates records a fault-scenario timeline and then
+// re-reads it through -validate — the same gate CI applies to uploaded
+// artifacts. It also checks the fault columns are present (and therefore
+// schema-compatible with fault-free timelines) in CSV output.
+func TestFaultTimelineValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	args := []string{
+		"-mode", "unmodified", "-screend", "-rate", "4000",
+		"-interval", "10ms", "-for", "200ms",
+		"-fault-drop", "0.02", "-fault-corrupt", "0.05",
+		"-fault-stall", "5ms", "-fault-stall-period", "50ms", "-fault-reset",
+		"-format", "json", "-out", path,
+	}
+	var stdout bytes.Buffer
+	if err := run(args, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatalf("validate rejected fault timeline: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid timeline") {
+		t.Fatalf("unexpected validate output: %s", out.String())
+	}
+
+	csvData := runToFile(t, []string{
+		"-mode", "polled", "-rate", "4000", "-interval", "10ms", "-for", "100ms",
+		"-fault-drop", "0.02", "-format", "csv",
+	})
+	header := strings.SplitN(string(csvData), "\n", 2)[0]
+	for _, col := range []string{"fault.wire.drops", "fault.nic.stalldrops", "fault.screend.pauses"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("CSV header missing %q: %s", col, header)
+		}
+	}
+}
+
 func TestValidateRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"livelock/internal/fault"
 	"livelock/internal/kernel"
 	"livelock/internal/sim"
 )
@@ -68,6 +69,13 @@ func TestTimelineDeterministicAcrossWorkers(t *testing.T) {
 		{Mode: kernel.ModeUnmodified},
 		{Mode: kernel.ModeUnmodified, Screend: true},
 		{Mode: kernel.ModePolled, Quota: 5},
+		// A fault-enabled config: injected faults must be just as
+		// reproducible across worker counts as the clean runs.
+		{Mode: kernel.ModePolled, Quota: 5, Fault: fault.Config{
+			DropProb: 0.02, CorruptProb: 0.05, DupProb: 0.02,
+			StallPeriod:   50 * sim.Millisecond,
+			StallDuration: 5 * sim.Millisecond,
+		}},
 	}
 	topt := kernel.TimelineOptions{
 		Interval: 10 * sim.Millisecond,

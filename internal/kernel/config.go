@@ -20,6 +20,7 @@ package kernel
 import (
 	"fmt"
 
+	"livelock/internal/fault"
 	"livelock/internal/metrics"
 	"livelock/internal/nic"
 	"livelock/internal/sim"
@@ -294,6 +295,14 @@ type Config struct {
 
 	// PoolBuffers sizes the packet buffer pool.
 	PoolBuffers int
+
+	// Fault configures the deterministic fault-injection plane (wire
+	// drop/corrupt/truncate/duplicate/delay, NIC stall/reset/lost
+	// interrupts, screend pause windows). The zero value disables it.
+	// Fault draws come from a stream derived from Seed and Fault.Seed,
+	// independent of the workload RNG, so a hostile run offers exactly
+	// the same load as a clean one.
+	Fault fault.Config
 
 	// Seed seeds the simulation's RNG.
 	Seed uint64

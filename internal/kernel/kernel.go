@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"livelock/internal/cpu"
+	"livelock/internal/fault"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
@@ -125,9 +126,22 @@ type Router struct {
 	nextOwnID uint64
 
 	// FwdErrors counts packets dropped by the forwarding code itself
-	// (no route, header errors); TTL expiries are counted separately
-	// because they generate ICMP.
+	// (no route, non-IP ethertype, malformed headers other than the two
+	// classified below); TTL expiries are counted separately because
+	// they generate ICMP.
 	FwdErrors *stats.Counter
+	// BadChecksumDrops counts frames the forwarder rejected for an IPv4
+	// header checksum mismatch — the terminal bucket for the fault
+	// plane's bit corruption when it lands in the IP header.
+	BadChecksumDrops *stats.Counter
+	// TruncatedDrops counts frames rejected as truncated (buffer
+	// shorter than the headers claim) — the terminal bucket for the
+	// fault plane's truncation injector.
+	TruncatedDrops *stats.Counter
+	// EchoConsumed counts ICMP echo-request frames consumed by in-place
+	// reply conversion; the reply is counted in RouterOriginated, so
+	// the request needs its own terminal bucket for conservation.
+	EchoConsumed *stats.Counter
 	// TTLDrops counts forwarded packets dropped for TTL expiry.
 	TTLDrops *stats.Counter
 	// ICMPSent counts router-originated ICMP messages (time-exceeded,
@@ -145,6 +159,7 @@ type Router struct {
 	// reassembly queue.
 	FragsConsumed *stats.Counter
 
+	fault *fault.Plane
 	reasm *netstack.Reassembler
 }
 
@@ -163,6 +178,9 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 		sockets:          make(map[uint16]*Socket),
 		tcpPorts:         make(map[uint16]*TCPReceiver),
 		FwdErrors:        stats.NewCounter("fwd.errors"),
+		BadChecksumDrops: stats.NewCounter("fwd.badchecksum"),
+		TruncatedDrops:   stats.NewCounter("fwd.truncated"),
+		EchoConsumed:     stats.NewCounter("icmp.echoconsumed"),
 		TTLDrops:         stats.NewCounter("fwd.ttl"),
 		ICMPSent:         stats.NewCounter("icmp.sent"),
 		ICMPFailures:     stats.NewCounter("icmp.failures"),
@@ -247,6 +265,22 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 		r.user = newUserProc(r)
 	}
 
+	// The fault plane attaches to the hostile side of the testbed: the
+	// source wires and input NICs (the stub Ethernet and reverse paths
+	// stay clean so the analyzer observes the router, not the plane).
+	if cfg.Fault.Enabled() {
+		r.fault = fault.NewPlane(eng, r.Pool, cfg.Fault, cfg.Seed)
+		for i, w := range r.SourceWires {
+			r.fault.AttachWire(w)
+			r.fault.AttachNIC(r.Ins[i])
+		}
+		var hang, resume func()
+		if r.screend != nil {
+			hang, resume = r.HangScreend, r.ResumeScreend
+		}
+		r.fault.Start(hang, resume)
+	}
+
 	// Clock and housekeeping.
 	r.clockTask = r.CPU.NewTask("hardclock", cpu.IPLClock, 0, cpu.ClassClock)
 	r.houseTask = r.CPU.NewTask("housekeeping", cpu.IPLThread, 50, cpu.ClassKernel)
@@ -279,6 +313,8 @@ func (r *Router) registerMetrics(reg *metrics.Registry) {
 	registerQueueMetrics(reg, r.portByIdx[OutIfIndex].outq, "ifq.out0")
 	registerQueueMetrics(reg, r.screendq, "screendq")
 	must(reg.Counter("fwd.errors", r.FwdErrors))
+	must(reg.Counter("fwd.badchecksum", r.BadChecksumDrops))
+	must(reg.Counter("fwd.truncated", r.TruncatedDrops))
 	must(reg.Counter("fwd.ttl", r.TTLDrops))
 	must(reg.Counter("icmp.sent", r.ICMPSent))
 	must(reg.Counter("sock.nosocket", r.NoSocketDrops))
@@ -289,7 +325,26 @@ func (r *Router) registerMetrics(reg *metrics.Registry) {
 	}
 	r.registerScreendMetrics(reg)
 	r.registerMonitorMetrics(reg)
+	r.registerFaultMetrics(reg)
 }
+
+// registerFaultMetrics registers the fault plane's injection counters,
+// or constant-zero columns under the same names when no plane is
+// configured, keeping clean timelines column-compatible with hostile
+// ones.
+func (r *Router) registerFaultMetrics(reg *metrics.Registry) {
+	if r.fault != nil {
+		metrics.MustRegister(r.fault.RegisterMetrics(reg))
+		return
+	}
+	for _, name := range fault.MetricNames {
+		metrics.MustRegister(reg.Counter(name, nil))
+	}
+}
+
+// Fault returns the fault-injection plane, or nil when Config.Fault is
+// disabled.
+func (r *Router) Fault() *fault.Plane { return r.fault }
 
 // registerQueueMetrics registers a queue's instruments, or constant-zero
 // columns under the same names when the queue does not exist in this
@@ -408,11 +463,20 @@ func (r *Router) fastPathHit(frame []byte) bool {
 func (r *Router) forwardFrame(p *netstack.Packet) bool {
 	ifIdx, err := r.fwd.Forward(p.Data)
 	if err != nil {
-		if err == netstack.ErrTTLExceeded {
+		switch err {
+		case netstack.ErrTTLExceeded:
 			r.TTLDrops.Inc()
 			r.trace("TTL expired — ICMP time exceeded", p)
 			r.sendICMPError(netstack.ICMPTypeTimeExceeded, 0, p)
-		} else {
+		case netstack.ErrBadChecksum:
+			// Classified separately from FwdErrors: corruption injected
+			// on the wire must land in its own conservation bucket.
+			r.BadChecksumDrops.Inc()
+			r.trace("forward DROP: bad IPv4 checksum", p)
+		case netstack.ErrTruncated:
+			r.TruncatedDrops.Inc()
+			r.trace("forward DROP: truncated frame", p)
+		default:
 			r.FwdErrors.Inc()
 			r.trace("forward ERROR: "+err.Error(), p)
 		}
@@ -623,6 +687,10 @@ func (r *Router) handleEcho(p *netstack.Packet) {
 	}
 	r.ICMPSent.Inc()
 	r.RouterOriginated.Inc()
+	// The request frame is consumed by the in-place conversion and the
+	// reply counted as router-originated; without this bucket the
+	// conservation ledger would double-count the buffer.
+	r.EchoConsumed.Inc()
 	r.trace("ICMP echo reply", p)
 	if !port.enqueueOut(p) {
 		p.Release()
@@ -684,28 +752,41 @@ type Accounting struct {
 	FilterDrops   uint64 // rejected by the screend filter
 	SocketDrops   uint64 // dropped at socket buffers or for no socket
 	FwdErrors     uint64 // forwarding failures (route, header)
+	BadChecksums  uint64 // forwarder drops for IPv4 checksum mismatch
+	Truncated     uint64 // forwarder drops for truncated frames
 	TTLDrops      uint64 // TTL expiries (ICMP generated when possible)
-	Malformed     uint64 // frames a sink failed to validate (must be 0)
+	Malformed     uint64 // frames a sink failed to validate (0 without faults)
 	Originated    uint64 // frames generated by the router (ICMP, replies)
 	AppConsumed   uint64 // datagrams consumed by local applications
 	FragsConsumed uint64 // fragment frames absorbed by reassembly
+	EchoConsumed  uint64 // echo requests consumed by in-place reply conversion
 	Alive         int    // packets still buffered in rings/queues/wires
+
+	// Fault-plane buckets; all zero when Config.Fault is disabled.
+	WireDrops  uint64 // frames the fault tap dropped on the wire
+	StallDrops uint64 // frames lost at fault-stalled input NICs
+	ResetDrops uint64 // frames discarded from rx rings by fault resets
+	Duplicated uint64 // extra frames injected by the tap (a source, not a sink)
 }
 
 // Dropped sums all drop categories.
 func (a Accounting) Dropped() uint64 {
 	return a.RingDrops + a.IPIntrQDrops + a.ScreendDrops + a.OutQueueDrops +
-		a.FilterDrops + a.SocketDrops + a.FwdErrors + a.TTLDrops
+		a.FilterDrops + a.SocketDrops + a.FwdErrors + a.BadChecksums +
+		a.Truncated + a.TTLDrops + a.WireDrops + a.StallDrops + a.ResetDrops
 }
 
 // Account returns the conservation snapshot.
 func (r *Router) Account() Accounting {
 	a := Accounting{
-		Delivered:  r.Sink.Delivered.Value(),
-		FwdErrors:  r.FwdErrors.Value(),
-		TTLDrops:   r.TTLDrops.Value(),
-		Malformed:  r.Sink.Malformed.Value(),
-		Originated: r.RouterOriginated.Value(),
+		Delivered:    r.Sink.Delivered.Value(),
+		FwdErrors:    r.FwdErrors.Value(),
+		BadChecksums: r.BadChecksumDrops.Value(),
+		Truncated:    r.TruncatedDrops.Value(),
+		TTLDrops:     r.TTLDrops.Value(),
+		Malformed:    r.Sink.Malformed.Value(),
+		Originated:   r.RouterOriginated.Value(),
+		EchoConsumed: r.EchoConsumed.Value(),
 	}
 	for _, rev := range r.RevSinks {
 		a.RevDelivered += rev.Delivered.Value()
@@ -713,6 +794,12 @@ func (r *Router) Account() Accounting {
 	}
 	for _, in := range r.Ins {
 		a.RingDrops += in.InDiscards.Value()
+		a.StallDrops += in.StallDrops.Value()
+	}
+	if r.fault != nil {
+		a.WireDrops = r.fault.WireDrops.Value()
+		a.ResetDrops = r.fault.ResetDrops.Value()
+		a.Duplicated = r.fault.Duplicated.Value()
 	}
 	for _, p := range r.ports {
 		a.OutQueueDrops += p.outq.Drops.Value()
@@ -737,6 +824,55 @@ func (r *Router) Account() Accounting {
 	}
 	a.Alive = r.Pool.Total() - r.Pool.Available()
 	return a
+}
+
+// Sources is the ledger's left-hand side: every frame put into the
+// system — offered by generators, originated by the router, or injected
+// by the fault plane.
+func (a Accounting) Sources(generated uint64) uint64 {
+	return generated + a.Originated + a.Duplicated
+}
+
+// Sinks is the ledger's right-hand side: every terminal bucket a frame
+// can end in — delivered on either side, rejected by a sink's
+// validator, dropped at a counted point, consumed by the router or an
+// application, or still buffered.
+func (a Accounting) Sinks() uint64 {
+	return a.Delivered + a.RevDelivered + a.Malformed + a.Dropped() +
+		a.AppConsumed + a.FragsConsumed + a.EchoConsumed + uint64(a.Alive)
+}
+
+// Audit verifies packet conservation: every frame generators offered
+// (plus router-originated and fault-injected ones) must be accounted in
+// exactly one terminal bucket. A non-nil error means the router lost or
+// invented a buffer — the backbone correctness oracle behind the trial
+// runners and the fault-injection tests. generated is the count of
+// frames the workload put on the input wires (Generator.Sent).
+//
+// The ledger balances at any event boundary, not just after a drain:
+// in-flight frames hold pool buffers and are counted in Alive. The one
+// known exception is a reassembled datagram parked in a local socket
+// buffer (heap-allocated, so invisible to Alive) — none of the audited
+// scenarios deliver fragments to local sockets.
+func (r *Router) Audit(generated uint64) error {
+	a := r.Account()
+	sources := a.Sources(generated)
+	sinks := a.Sinks()
+	if sources == sinks {
+		return nil
+	}
+	return fmt.Errorf(
+		"kernel: packet conservation violated: sources=%d (generated=%d originated=%d duplicated=%d) != sinks=%d "+
+			"(delivered=%d rev=%d malformed=%d ring=%d ipintrq=%d screendq=%d outq=%d filter=%d socket=%d "+
+			"fwderr=%d badcksum=%d truncated=%d ttl=%d wire=%d stall=%d reset=%d "+
+			"app=%d frags=%d echo=%d alive=%d): %d frame(s) unaccounted",
+		sources, generated, a.Originated, a.Duplicated, sinks,
+		a.Delivered, a.RevDelivered, a.Malformed, a.RingDrops, a.IPIntrQDrops, a.ScreendDrops,
+		a.OutQueueDrops, a.FilterDrops, a.SocketDrops,
+		a.FwdErrors, a.BadChecksums, a.Truncated, a.TTLDrops,
+		a.WireDrops, a.StallDrops, a.ResetDrops,
+		a.AppConsumed, a.FragsConsumed, a.EchoConsumed, a.Alive,
+		int64(sources)-int64(sinks))
 }
 
 // QueueStats exposes the internal queues for reporting; entries may be

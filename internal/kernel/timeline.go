@@ -69,6 +69,13 @@ func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
 	sampler.Flush()
 	sampler.Stop()
 
+	// The conservation ledger balances at any event boundary (in-flight
+	// frames count as Alive), so timelines are audited too — even
+	// without a drain.
+	if err := r.Audit(gen.Sent.Value()); err != nil {
+		panic(err)
+	}
+
 	return TimelineResult{
 		Series:    sampler.Series(),
 		Spans:     spans,

@@ -67,5 +67,12 @@ func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResul
 	gen.Stop()
 	eng.RunFor(200 * sim.Millisecond)
 	res.Accounting = r.Account()
+	// Every trial is audited: an unbalanced ledger means the router
+	// lost or invented a buffer, and the run's numbers cannot be
+	// trusted. The panic is recovered by the parallel trial executor
+	// and surfaces as a TrialError.
+	if err := r.Audit(gen.Sent.Value()); err != nil {
+		panic(err)
+	}
 	return res
 }

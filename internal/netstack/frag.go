@@ -202,7 +202,10 @@ func (r *Reassembler) Submit(frame []byte) ([]byte, bool, error) {
 
 	off := int(ip.FragOff) * 8
 	payload := ipb[IPv4HeaderLen:ip.TotalLen]
-	if off+len(payload) > len(e.data) {
+	// The reassembled datagram must still be describable by one IPv4
+	// header: TotalLen is 16 bits, so data beyond 65535-IPv4HeaderLen
+	// would wrap the length field when the frame is rebuilt.
+	if off+len(payload) > 0xffff-IPv4HeaderLen {
 		return nil, false, ErrFragOverflow
 	}
 	copy(e.data[off:], payload)

@@ -37,12 +37,14 @@ type NIC struct {
 	wire *Wire // output wire; nil for receive-only interfaces
 
 	// Receive side.
-	rxRing    []*netstack.Packet
-	rxHead    int
-	rxCount   int
-	rxEnabled bool
-	rxPending bool
-	onRxIntr  func()
+	rxRing     []*netstack.Packet
+	rxHead     int
+	rxCount    int
+	rxEnabled  bool
+	rxPending  bool
+	rxStalled  bool
+	onRxIntr   func()
+	loseRxIntr func() bool
 
 	// Transmit side. Descriptors: queued (awaiting wire) + inFlight +
 	// completed (awaiting reclaim) <= cfg.TxRing. Ownership of a frame
@@ -61,6 +63,11 @@ type NIC struct {
 	InDiscards *stats.Counter // frames dropped because the rx ring was full
 	OutPkts    *stats.Counter // frames fully transmitted ("Opkts", the measured output rate)
 
+	// Fault-injection counters (see internal/fault); both stay zero
+	// unless a fault plane attaches to the interface.
+	StallDrops  *stats.Counter // frames dropped while the receive side was stalled
+	LostRxIntrs *stats.Counter // receive-interrupt assertions suppressed by fault injection
+
 	// OnRxAccept and OnRxDrop, if non-nil, observe ring admission for
 	// tracing. OnRxDrop fires before the dropped frame is released.
 	OnRxAccept func(*netstack.Packet)
@@ -77,9 +84,11 @@ func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire)
 		rxRing:     make([]*netstack.Packet, cfg.RxRing),
 		rxEnabled:  true,
 		txEnabled:  true,
-		InPkts:     stats.NewCounter(name + ".ipkts"),
-		InDiscards: stats.NewCounter(name + ".idiscards"),
-		OutPkts:    stats.NewCounter(name + ".opkts"),
+		InPkts:      stats.NewCounter(name + ".ipkts"),
+		InDiscards:  stats.NewCounter(name + ".idiscards"),
+		OutPkts:     stats.NewCounter(name + ".opkts"),
+		StallDrops:  stats.NewCounter(name + ".stalldrops"),
+		LostRxIntrs: stats.NewCounter(name + ".lostintrs"),
 	}
 }
 
@@ -127,6 +136,14 @@ func (n *NIC) SetRxInterrupt(fn func()) { n.onRxIntr = fn }
 // If the ring is full the frame is dropped by the hardware at zero CPU
 // cost — the cheapest possible place to drop, as §6.4 emphasizes.
 func (n *NIC) DeliverFrame(p *netstack.Packet) {
+	if n.rxStalled {
+		// A fault-stalled device loses arriving frames silently; the
+		// drop is as cheap as a ring-full one but counted separately so
+		// conservation accounting can attribute it to the fault plane.
+		n.StallDrops.Inc()
+		p.Release()
+		return
+	}
 	if n.rxCount == n.cfg.RxRing {
 		n.InDiscards.Inc()
 		if n.OnRxDrop != nil {
@@ -147,9 +164,41 @@ func (n *NIC) DeliverFrame(p *netstack.Packet) {
 
 func (n *NIC) maybeRaiseRx() {
 	if n.rxEnabled && !n.rxPending && n.rxCount > 0 && n.onRxIntr != nil {
+		if n.loseRxIntr != nil && n.loseRxIntr() {
+			// The assertion is lost but rxPending stays false, so the
+			// next arrival (or interrupt enable) retries; a lost
+			// interrupt delays service, it does not wedge the device.
+			n.LostRxIntrs.Inc()
+			return
+		}
 		n.rxPending = true
 		n.onRxIntr()
 	}
+}
+
+// SetRxStalled sets the fault-injection receive stall flag: while
+// stalled the device loses every arriving frame (counted in
+// StallDrops). Frames already in the ring are untouched; see ResetRx.
+func (n *NIC) SetRxStalled(on bool) { n.rxStalled = on }
+
+// RxStalled reports whether the receive side is fault-stalled.
+func (n *NIC) RxStalled() bool { return n.rxStalled }
+
+// SetRxIntrLoss installs a fault hook consulted each time the NIC is
+// about to assert a receive interrupt; returning true suppresses the
+// assertion (counted in LostRxIntrs).
+func (n *NIC) SetRxIntrLoss(fn func() bool) { n.loseRxIntr = fn }
+
+// ResetRx discards every frame in the receive ring, as a device reset
+// would, and returns the number discarded. The interrupt latch is left
+// alone: a handler already dispatched simply finds the ring empty.
+func (n *NIC) ResetRx() int {
+	count := 0
+	for p := n.TakeRx(); p != nil; p = n.TakeRx() {
+		p.Release()
+		count++
+	}
+	return count
 }
 
 // RxPending reports whether a receive interrupt is asserted.

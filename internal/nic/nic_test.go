@@ -344,3 +344,67 @@ func TestRxRingFIFOUnderChurn(t *testing.T) {
 			n.InPkts.Value(), n.InDiscards.Value(), next)
 	}
 }
+
+// TestWireTapAccounting pins the counter semantics of the fault tap:
+// Frames is transmit-side (what the sender put on the wire), Delivered
+// is receive-side (what actually arrived, duplicates included), and at
+// any boundary Frames + TapInjected = Delivered + TapDropped + frames
+// the tap still holds.
+func TestWireTapAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	var sink CountingReceiver
+	w := NewWire(eng, &sink, EthernetBitRate, 0)
+	seen := 0
+	w.SetTap(func(p *netstack.Packet) {
+		seen++
+		switch seen {
+		case 1: // drop
+			w.DropTapped(p)
+		case 2: // duplicate: original plus an injected copy
+			dup := &netstack.Packet{ID: p.ID | 1<<62, Data: append([]byte(nil), p.Data...)}
+			w.Deliver(p)
+			w.DeliverInjected(dup)
+		default:
+			w.Deliver(p)
+		}
+	})
+	for i := uint64(1); i <= 3; i++ {
+		w.Transmit(pkt(i, 60))
+	}
+	eng.Run(sim.Time(sim.Second))
+	if w.Frames != 3 {
+		t.Fatalf("Frames = %d, want 3 (tap must not change the transmit count)", w.Frames)
+	}
+	if w.Delivered != 3 || w.TapDropped != 1 || w.TapInjected != 1 {
+		t.Fatalf("Delivered/TapDropped/TapInjected = %d/%d/%d, want 3/1/1",
+			w.Delivered, w.TapDropped, w.TapInjected)
+	}
+	if sink.Count != 3 {
+		t.Fatalf("receiver saw %d frames, want 3", sink.Count)
+	}
+	if w.Frames+w.TapInjected != w.Delivered+w.TapDropped {
+		t.Fatalf("tap invariant violated: %d+%d != %d+%d",
+			w.Frames, w.TapInjected, w.Delivered, w.TapDropped)
+	}
+}
+
+// TestWireTapDelayedDelivery checks a tap may hold a frame and deliver
+// it from a later event: mid-flight the invariant accounts it as held,
+// and it still reaches the receiver exactly once.
+func TestWireTapDelayedDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	var sink CountingReceiver
+	w := NewWire(eng, &sink, EthernetBitRate, 0)
+	w.SetTap(func(p *netstack.Packet) {
+		eng.After(sim.Millisecond, func() { w.Deliver(p) })
+	})
+	done := w.Transmit(pkt(1, 60))
+	eng.Run(done.Add(100 * us))
+	if w.Frames != 1 || w.Delivered != 0 {
+		t.Fatalf("mid-flight Frames/Delivered = %d/%d, want 1/0", w.Frames, w.Delivered)
+	}
+	eng.Run(sim.Time(sim.Second))
+	if w.Delivered != 1 || sink.Count != 1 {
+		t.Fatalf("Delivered/sink = %d/%d, want 1/1", w.Delivered, sink.Count)
+	}
+}

@@ -38,9 +38,22 @@ type Wire struct {
 	propDelay sim.Duration
 	dst       Receiver
 	busyUntil sim.Time
+	tap       func(*netstack.Packet)
 
-	// Frames counts frames that finished transmission on the wire.
+	// Frames counts sender frames that finished serialization and
+	// propagation. It is a transmit-side counter: a fault tap that later
+	// drops, duplicates, or delays the frame does not change it.
 	Frames uint64
+	// Delivered counts frames actually handed to the receiver,
+	// including tap-injected duplicates and excluding tap-consumed
+	// frames. Without a tap, Delivered tracks Frames exactly. At any
+	// event boundary Frames + TapInjected = Delivered + TapDropped +
+	// frames the tap still holds (delayed in flight).
+	Delivered uint64
+	// TapDropped counts frames the tap consumed without delivery;
+	// TapInjected counts extra frames the tap created (duplicates).
+	TapDropped  uint64
+	TapInjected uint64
 }
 
 // NewWire returns a wire to dst at bitRate bits/s with the given
@@ -71,9 +84,40 @@ func (w *Wire) Transmit(p *netstack.Packet) sim.Time {
 	w.busyUntil = done
 	w.eng.At(done.Add(w.propDelay), func() {
 		w.Frames++
-		w.dst.DeliverFrame(p)
+		if w.tap != nil {
+			w.tap(p)
+			return
+		}
+		w.Deliver(p)
 	})
 	return done
+}
+
+// SetTap installs a delivery-time intercept (the fault plane's wire
+// injector). The tap takes ownership of every frame that finishes
+// propagation and must dispose of it exactly once: Deliver it (possibly
+// from a later event, modeling extra delay), DeliverInjected a copy, or
+// DropTapped it.
+func (w *Wire) SetTap(fn func(*netstack.Packet)) { w.tap = fn }
+
+// Deliver hands p to the receiving interface, counting the delivery.
+func (w *Wire) Deliver(p *netstack.Packet) {
+	w.Delivered++
+	w.dst.DeliverFrame(p)
+}
+
+// DeliverInjected delivers a tap-created frame (e.g. a duplicate),
+// counted separately from sender frames.
+func (w *Wire) DeliverInjected(p *netstack.Packet) {
+	w.TapInjected++
+	w.Deliver(p)
+}
+
+// DropTapped records the tap consuming p without delivery and releases
+// the frame.
+func (w *Wire) DropTapped(p *netstack.Packet) {
+	w.TapDropped++
+	p.Release()
 }
 
 // Busy reports whether a transmission is in progress.

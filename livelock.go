@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"livelock/internal/experiment"
+	"livelock/internal/fault"
 	"livelock/internal/kernel"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
@@ -91,8 +92,20 @@ type Router = kernel.Router
 // TrialResult is the outcome of one fixed-rate measurement trial.
 type TrialResult = kernel.TrialResult
 
-// Accounting is a packet-conservation snapshot.
+// Accounting is a packet-conservation snapshot. Router.Audit checks
+// that it balances: every generated, router-originated, or
+// fault-injected frame lands in exactly one terminal bucket.
 type Accounting = kernel.Accounting
+
+// FaultConfig configures the deterministic fault-injection plane
+// (Config.Fault): seeded wire-layer drop/truncate/corrupt/duplicate/
+// delay, NIC stall/reset windows and lost interrupts, and screend
+// pause windows. The zero value disables all injectors.
+type FaultConfig = fault.Config
+
+// FaultPlane owns a router's fault injectors and their counters
+// (Router.Fault; nil when faults are disabled).
+type FaultPlane = fault.Plane
 
 // AppConfig describes an RPC-style server application bound to a UDP
 // socket on the router host (Router.StartApp).
