@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures plots examples cover fuzz clean
+.PHONY: all build test vet bench bench-baseline bench-full figures plots examples cover fuzz clean
 
 all: build vet test
 
@@ -20,7 +20,18 @@ test:
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Benchmark-regression gate: run the substrate microbenchmarks and fail
+# on >10% events/sec regression (or any alloc increase) against the
+# committed baseline. Regenerate the baseline with bench-baseline after
+# an intentional performance change, on a quiet machine.
 bench:
+	$(GO) run ./cmd/lkbench -baseline BENCH_baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/lkbench -baseline BENCH_baseline.json -update
+
+# The full benchmark suite (figure sweeps, ablations, microbenches).
+bench-full:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate every figure from the paper's evaluation.

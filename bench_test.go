@@ -22,8 +22,11 @@ import (
 	"livelock/internal/cpu"
 	"livelock/internal/experiment"
 	"livelock/internal/kernel"
+	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/queue"
 	"livelock/internal/sim"
+	"livelock/internal/stats"
 	"livelock/internal/workload"
 )
 
@@ -325,6 +328,72 @@ func BenchmarkEngineEvents(b *testing.B) {
 	eng.After(1000, fire)
 	b.ResetTimer()
 	eng.Run(sim.Time(int64(b.N+1) * 1000))
+}
+
+// BenchmarkEngineEventsCall measures the closure-free scheduling path
+// (AfterCall + pooled events): the steady state is allocation-free.
+func BenchmarkEngineEventsCall(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var fire sim.Callback
+	fire = func(a, _ any) {
+		n++
+		if n < b.N {
+			a.(*sim.Engine).AfterCall(1000, fire, a, nil)
+		}
+	}
+	eng.AfterCall(1000, fire, eng, nil)
+	b.ResetTimer()
+	eng.Run(sim.Time(int64(b.N+1) * 1000))
+}
+
+// BenchmarkQueueOps measures one enqueue+dequeue through a bounded FIFO
+// with live watermark hysteresis, per op pair.
+func BenchmarkQueueOps(b *testing.B) {
+	eng := sim.NewEngine()
+	q := queue.New("bench", 64, eng.Now)
+	q.SetWatermarks(48, 16)
+	q.OnHigh = func() {}
+	q.OnLow = func() {}
+	pool := netstack.NewPool(64, 64)
+	p := pool.Get(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p)
+		q.Dequeue()
+	}
+}
+
+// BenchmarkPoolGetPut measures a buffer-pool allocate/release cycle.
+func BenchmarkPoolGetPut(b *testing.B) {
+	pool := netstack.NewPool(64, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Get(1514).Release()
+	}
+}
+
+// BenchmarkSamplerTick measures one metrics-sampler edge: read every
+// instrument, record the row, reschedule.
+func BenchmarkSamplerTick(b *testing.B) {
+	eng := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	for i := 0; i < 8; i++ {
+		c := stats.NewCounter(fmt.Sprintf("c%d", i))
+		if err := reg.Counter(c.Name(), c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := metrics.NewSampler(eng, reg, sim.Millisecond)
+	s.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now().Add(sim.Millisecond))
+	}
 }
 
 // BenchmarkCPUDispatch measures the scheduling path: post + preempt +

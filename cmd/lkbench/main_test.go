@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutputBestOfN(t *testing.T) {
+	out := `
+goos: linux
+goarch: amd64
+pkg: livelock
+BenchmarkEngineEvents-4    	72320184	        14.59 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineEvents-4    	70000000	        16.02 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineEvents-4    	71000000	        13.88 ns/op	       1 B/op	       0 allocs/op
+BenchmarkSamplerTick       	 2377672	       478.0 ns/op	     241 B/op	       0 allocs/op
+PASS
+ok  	livelock	3.695s
+`
+	got, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee, ok := got["EngineEvents"]
+	if !ok {
+		t.Fatalf("EngineEvents missing from %v", got)
+	}
+	if ee.NsPerOp != 13.88 {
+		t.Errorf("NsPerOp = %v, want best-of-N 13.88", ee.NsPerOp)
+	}
+	if ee.BytesPerOp != 1 {
+		t.Errorf("BytesPerOp = %v, want worst-of-N 1", ee.BytesPerOp)
+	}
+	// A line without the -GOMAXPROCS suffix parses too.
+	st, ok := got["SamplerTick"]
+	if !ok || st.NsPerOp != 478.0 || st.BytesPerOp != 241 {
+		t.Errorf("SamplerTick = %+v, ok=%v; want 478 ns/op, 241 B/op", st, ok)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"Fast":  {NsPerOp: 100, AllocsPerOp: 0},
+		"Slow":  {NsPerOp: 100, AllocsPerOp: 0},
+		"Leaky": {NsPerOp: 100, AllocsPerOp: 0},
+		"Gone":  {NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	got := map[string]Result{
+		"Fast":  {NsPerOp: 105, AllocsPerOp: 0}, // 4.8% slower: within tolerance
+		"Slow":  {NsPerOp: 125, AllocsPerOp: 0}, // 20% throughput drop: fails
+		"Leaky": {NsPerOp: 90, AllocsPerOp: 2},  // faster but allocates: fails
+	}
+	err := compare(base, got, 0.10)
+	if err == nil {
+		t.Fatal("compare passed; want regression failure")
+	}
+	for _, want := range []string{"Slow", "Leaky", "Gone"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %s: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "Fast:") {
+		t.Errorf("error flags Fast, which is within tolerance: %v", err)
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"A": {NsPerOp: 100, AllocsPerOp: 1},
+	}}
+	got := map[string]Result{
+		"A":   {NsPerOp: 108, AllocsPerOp: 1},
+		"New": {NsPerOp: 50, AllocsPerOp: 0}, // unknown benchmarks don't fail the gate
+	}
+	if err := compare(base, got, 0.10); err != nil {
+		t.Fatalf("compare failed: %v", err)
+	}
+}

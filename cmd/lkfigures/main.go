@@ -11,6 +11,8 @@
 //	lkfigures -measure 3s      # measurement window per point
 //	lkfigures -parallel 4      # bound the trial worker pool (0 = all cores)
 //	lkfigures -progress        # sweep progress on stderr
+//	lkfigures -cpuprofile p.out -memprofile m.out -trace t.out
+//	                           # profile/trace the run for go tool pprof/trace
 //
 // Trials of a sweep are fanned out across a worker pool (all CPU cores
 // by default). Results are deterministic: every worker count, including
@@ -23,6 +25,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"livelock"
@@ -48,8 +53,44 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Int("parallel", 0, "concurrent trials per sweep; 0 = all CPU cores, 1 = serial")
 	progress := fs.Bool("progress", false, "report per-sweep trial progress on stderr")
 	timelineDir := fs.String("timeline-dir", "", "also write overload timeline CSVs for the headline kernel configurations to this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
+	execTrace := fs.String("trace", "", "write a runtime execution trace of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // materialize the final live set
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 	opts := livelock.Options{
 		Warmup:   livelock.Duration(warmup.Nanoseconds()),

@@ -21,7 +21,7 @@ type Feedback struct {
 	gate    *Gate
 	source  string
 	timeout sim.Duration
-	timer   *sim.Event
+	timer   sim.Handle
 
 	// Inhibits counts transitions into the inhibited state; Timeouts
 	// counts re-enables forced by the timeout rather than the low
@@ -48,14 +48,14 @@ func (f *Feedback) QueueHigh() {
 	f.Inhibits.Inc()
 	f.gate.Inhibit(f.source)
 	if f.timeout > 0 {
-		f.timer = f.eng.After(f.timeout, f.onTimeout)
+		f.timer = f.eng.AfterCall(f.timeout, feedbackTimeout, f, nil)
 	}
 }
 
 // QueueLow handles the queue draining to its low watermark.
 func (f *Feedback) QueueLow() {
 	f.eng.Cancel(f.timer)
-	f.timer = nil
+	f.timer = sim.Handle{}
 	f.gate.Release(f.source)
 }
 
@@ -65,14 +65,19 @@ func (f *Feedback) QueueLow() {
 // program is hung"), so a live consumer should never trip it even when a
 // full drain takes longer than the timeout.
 func (f *Feedback) Progress() {
-	if f.timer != nil && f.timer.Pending() {
+	if f.timer.Pending() {
 		f.eng.Cancel(f.timer)
-		f.timer = f.eng.After(f.timeout, f.onTimeout)
+		f.timer = f.eng.AfterCall(f.timeout, feedbackTimeout, f, nil)
 	}
 }
 
+// feedbackTimeout is the hang-recovery callback (sim.Callback shape):
+// re-arming on every consumer step must not allocate, since a busy
+// inhibited drain re-arms once per packet.
+func feedbackTimeout(a, _ any) { a.(*Feedback).onTimeout() }
+
 func (f *Feedback) onTimeout() {
-	f.timer = nil
+	f.timer = sim.Handle{}
 	if f.gate.Holds(f.source) {
 		f.Timeouts.Inc()
 		f.gate.Release(f.source)

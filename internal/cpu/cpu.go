@@ -176,7 +176,7 @@ type CPU struct {
 
 	cur        *Task
 	curStart   sim.Time
-	completion *sim.Event
+	completion sim.Handle
 
 	idleSince sim.Time
 	isIdle    bool
@@ -378,7 +378,7 @@ func (c *CPU) preempt() {
 	}
 	t.peekItem().cost -= elapsed
 	c.eng.Cancel(c.completion)
-	c.completion = nil
+	c.completion = sim.Handle{}
 	c.cur = nil
 	c.preemptions++
 	// The preempted task keeps its original readySeq so it resumes
@@ -397,12 +397,18 @@ func (c *CPU) start(t *Task) {
 	c.cur = t
 	c.curStart = now
 	c.dispatches++
-	c.completion = c.eng.After(t.peekItem().cost, c.complete)
+	// Closure-free scheduling: the dispatch path runs once per work
+	// item, so a method-value closure here would be the CPU model's
+	// single biggest allocation source.
+	c.completion = c.eng.AfterCall(t.peekItem().cost, cpuComplete, c, nil)
 }
+
+// cpuComplete is the completion-timer callback (sim.Callback shape).
+func cpuComplete(a, _ any) { a.(*CPU).complete() }
 
 func (c *CPU) complete() {
 	t := c.cur
-	c.completion = nil
+	c.completion = sim.Handle{}
 	item := t.popItem()
 	c.charge(t, item.cost)
 	if c.runHook != nil {

@@ -138,6 +138,11 @@ type Plane struct {
 	// ScreendPauses counts process-layer pause windows opened.
 	ScreendPauses *stats.Counter
 
+	// hangScreend/resumeScreend drive the process-layer injector; set
+	// once by Start so the periodic windows can reschedule closure-free.
+	hangScreend   func()
+	resumeScreend func()
+
 	nextDupID uint64
 }
 
@@ -208,11 +213,15 @@ func (pl *Plane) tapFrame(w *nic.Wire, p *netstack.Packet) {
 	if c.DelayProb > 0 && pl.rng.Float64() < c.DelayProb {
 		d := sim.Duration(1 + pl.rng.Intn(int(c.MaxDelay)))
 		pl.Delayed.Inc()
-		pl.eng.After(d, func() { w.Deliver(p) })
+		pl.eng.AfterCall(d, deliverDelayed, w, p)
 		return
 	}
 	w.Deliver(p)
 }
+
+// deliverDelayed hands a held frame to its wire's receiver
+// (sim.Callback shape, so per-frame delay injection allocates nothing).
+func deliverDelayed(a, b any) { a.(*nic.Wire).Deliver(b.(*netstack.Packet)) }
 
 // AttachNIC registers an input NIC for device-layer faults: it joins
 // the stall-window set and, with IntrLossProb configured, gets the
@@ -233,35 +242,51 @@ func (pl *Plane) Start(hangScreend, resumeScreend func()) {
 	}
 	if pl.cfg.ScreendPausePeriod > 0 && pl.cfg.ScreendPauseDuration > 0 &&
 		hangScreend != nil && resumeScreend != nil {
-		pl.scheduleScreendPause(hangScreend, resumeScreend)
+		pl.hangScreend, pl.resumeScreend = hangScreend, resumeScreend
+		pl.scheduleScreendPause()
 	}
 }
 
+// The periodic fault windows reschedule through sim.Callback-shaped
+// package functions so a long hostile run's timer churn stays
+// allocation-free, like every other recurring event source.
+
 func (pl *Plane) scheduleStall() {
-	pl.eng.After(pl.cfg.StallPeriod, func() {
-		for _, n := range pl.nics {
-			n.SetRxStalled(true)
-			if pl.cfg.ResetOnStall {
-				pl.ResetDrops.Add(uint64(n.ResetRx()))
-			}
-		}
-		pl.eng.After(pl.cfg.StallDuration, func() {
-			for _, n := range pl.nics {
-				n.SetRxStalled(false)
-			}
-		})
-		pl.scheduleStall()
-	})
+	pl.eng.AfterCall(pl.cfg.StallPeriod, planeStallOpen, pl, nil)
 }
 
-func (pl *Plane) scheduleScreendPause(hang, resume func()) {
-	pl.eng.After(pl.cfg.ScreendPausePeriod, func() {
-		pl.ScreendPauses.Inc()
-		hang()
-		pl.eng.After(pl.cfg.ScreendPauseDuration, resume)
-		pl.scheduleScreendPause(hang, resume)
-	})
+func planeStallOpen(a, _ any) {
+	pl := a.(*Plane)
+	for _, n := range pl.nics {
+		n.SetRxStalled(true)
+		if pl.cfg.ResetOnStall {
+			pl.ResetDrops.Add(uint64(n.ResetRx()))
+		}
+	}
+	pl.eng.AfterCall(pl.cfg.StallDuration, planeStallClose, pl, nil)
+	pl.scheduleStall()
 }
+
+func planeStallClose(a, _ any) {
+	pl := a.(*Plane)
+	for _, n := range pl.nics {
+		n.SetRxStalled(false)
+	}
+}
+
+func (pl *Plane) scheduleScreendPause() {
+	pl.eng.AfterCall(pl.cfg.ScreendPausePeriod, planePauseOpen, pl, nil)
+}
+
+func planePauseOpen(a, _ any) {
+	pl := a.(*Plane)
+	pl.ScreendPauses.Inc()
+	pl.hangScreend()
+	pl.eng.AfterCall(pl.cfg.ScreendPauseDuration, planePauseClose, pl, nil)
+	pl.scheduleScreendPause()
+}
+
+func planePauseClose(a, _ any) { a.(*Plane).resumeScreend() }
 
 // StallDrops sums frames lost to stall windows across attached NICs.
 func (pl *Plane) StallDrops() uint64 {

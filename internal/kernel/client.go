@@ -39,7 +39,7 @@ type Client struct {
 	outstanding int
 	ipid        uint16
 	nextID      uint64
-	timer       *sim.Event
+	timer       sim.Handle
 	oldestSent  []sim.Time // FIFO of outstanding send times
 
 	// Sent counts request transmissions (including retransmissions);
@@ -124,14 +124,17 @@ func (c *Client) sendRequest() {
 }
 
 func (c *Client) armTimer() {
-	if c.timer != nil && c.timer.Pending() {
+	if c.timer.Pending() {
 		return
 	}
 	if c.outstanding == 0 {
 		return
 	}
-	c.timer = c.r.Eng.After(c.cfg.Timeout, c.onTimeout)
+	c.timer = c.r.Eng.AfterCall(c.cfg.Timeout, clientTimeout, c, nil)
 }
+
+// clientTimeout is the retransmission callback (sim.Callback shape).
+func clientTimeout(a, _ any) { a.(*Client).onTimeout() }
 
 // onReply completes the oldest outstanding request. Replies carry no
 // sequence echo, so FIFO matching is used; with a single server and
@@ -161,7 +164,7 @@ func (c *Client) onReply(p *netstack.Packet) {
 	c.Completed.Inc()
 	c.RTT.Observe(c.r.Eng.Now().Sub(sent))
 	c.r.Eng.Cancel(c.timer)
-	c.timer = nil
+	c.timer = sim.Handle{}
 	c.armTimer()
 	for c.outstanding < c.cfg.Window && !c.done() {
 		c.sendRequest()
@@ -170,7 +173,7 @@ func (c *Client) onReply(p *netstack.Packet) {
 
 // onTimeout retransmits the oldest outstanding request.
 func (c *Client) onTimeout() {
-	c.timer = nil
+	c.timer = sim.Handle{}
 	if c.outstanding == 0 {
 		return
 	}

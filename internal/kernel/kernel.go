@@ -414,10 +414,15 @@ func (r *Router) wireTracing() {
 }
 
 func (r *Router) scheduleTick() {
-	r.Eng.After(r.Cfg.ClockTick, func() {
-		r.clockTask.Post(r.Cfg.Costs.ClockTickCost, r.onTick)
-		r.scheduleTick()
-	})
+	r.Eng.AfterCall(r.Cfg.ClockTick, routerTick, r, nil)
+}
+
+// routerTick is the hardclock callback (sim.Callback shape): it fires
+// every ClockTick for the whole run, so it must not allocate.
+func routerTick(a, _ any) {
+	r := a.(*Router)
+	r.clockTask.Post(r.Cfg.Costs.ClockTickCost, r.onTick)
+	r.scheduleTick()
 }
 
 // onTick runs in hardclock context.

@@ -176,10 +176,14 @@ func (m *polledPath) registerMetrics(reg *metrics.Registry) {
 // scheduleClockedPoll drives the pure-polling design: the polling thread
 // is made runnable every ClockedPollInterval regardless of device state.
 func (m *polledPath) scheduleClockedPoll() {
-	m.r.Eng.After(m.r.Cfg.ClockedPollInterval, func() {
-		m.poller.Schedule()
-		m.scheduleClockedPoll()
-	})
+	m.r.Eng.AfterCall(m.r.Cfg.ClockedPollInterval, clockedPoll, m, nil)
+}
+
+// clockedPoll is the periodic poll callback (sim.Callback shape).
+func clockedPoll(a, _ any) {
+	m := a.(*polledPath)
+	m.poller.Schedule()
+	m.scheduleClockedPoll()
 }
 
 // rxStep returns the received-packet callback for an input port: one

@@ -196,7 +196,7 @@ type TCPSender struct {
 	ssthresh float64
 	dupacks  int
 	backoff  sim.Duration
-	timer    *sim.Event
+	timer    sim.Handle
 	ipid     uint16
 
 	// Done is set when TotalBytes are acknowledged; FinishedAt records
@@ -308,14 +308,19 @@ func (s *TCPSender) sendSegment(seq uint64, n int) bool {
 }
 
 func (s *TCPSender) armTimer() {
-	if s.timer != nil && s.timer.Pending() {
+	if s.timer.Pending() {
 		return
 	}
 	if s.una >= s.nxt {
 		return // nothing outstanding
 	}
-	s.timer = s.r.Eng.After(s.backoff, s.onRTO)
+	s.timer = s.r.Eng.AfterCall(s.backoff, tcpRTO, s, nil)
 }
+
+// tcpRTO is the retransmission-timeout callback (sim.Callback shape);
+// the sender cancels and re-arms it on every ACK, so the RTO churn of a
+// long transfer must not allocate.
+func tcpRTO(a, _ any) { a.(*TCPSender).onRTO() }
 
 // onFrame filters reverse-wire traffic for our ACKs.
 func (s *TCPSender) onFrame(p *netstack.Packet) {
@@ -352,7 +357,7 @@ func (s *TCPSender) onAck(ack uint64) {
 			s.cwnd += 1 / s.cwnd
 		}
 		s.r.Eng.Cancel(s.timer)
-		s.timer = nil
+		s.timer = sim.Handle{}
 		if s.cfg.TotalBytes > 0 && s.una >= s.cfg.TotalBytes {
 			s.Done = true
 			s.FinishedAt = s.r.Eng.Now()
@@ -400,12 +405,12 @@ func (s *TCPSender) loss() {
 	s.dupacks = 0
 	s.nxt = s.una // go-back-N from the hole
 	s.r.Eng.Cancel(s.timer)
-	s.timer = nil
+	s.timer = sim.Handle{}
 	s.trySend()
 }
 
 func (s *TCPSender) onRTO() {
-	s.timer = nil
+	s.timer = sim.Handle{}
 	if s.Done || s.una >= s.nxt {
 		return
 	}

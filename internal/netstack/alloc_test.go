@@ -1,0 +1,23 @@
+package netstack
+
+import "testing"
+
+// Pool.Get and Packet.Release recycle fixed buffers; a change that
+// makes either allocate turns every forwarded frame into garbage-
+// collector work, which is exactly what the mbuf-style pool exists to
+// avoid.
+func TestAllocsPoolGetRelease(t *testing.T) {
+	pool := NewPool(16, 2048)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var pkts [16]*Packet
+		for i := range pkts {
+			pkts[i] = pool.Get(1514)
+		}
+		for _, p := range pkts {
+			p.Release()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pool get/release cycle allocates %v objects, want 0", allocs)
+	}
+}

@@ -154,7 +154,7 @@ type ARPResolver struct {
 type arpPending struct {
 	frames [][]byte
 	tries  int
-	timer  *sim.Event
+	timer  sim.Handle
 }
 
 // NewARPResolver returns a resolver populating table.

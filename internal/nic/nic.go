@@ -275,8 +275,12 @@ func (n *NIC) kickTx() {
 	n.txQueue = n.txQueue[1:]
 	n.txInFlight++
 	done := n.wire.Transmit(p)
-	n.eng.At(done, n.txDone)
+	// Closure-free: one completion event per transmitted frame.
+	n.eng.AtCall(done, nicTxDone, n, nil)
 }
+
+// nicTxDone is the transmit-completion callback (sim.Callback shape).
+func nicTxDone(a, _ any) { a.(*NIC).txDone() }
 
 func (n *NIC) txDone() {
 	n.txInFlight--

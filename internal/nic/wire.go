@@ -82,15 +82,24 @@ func (w *Wire) Transmit(p *netstack.Packet) sim.Time {
 	}
 	done := start.Add(w.SerializationTime(p.Len()))
 	w.busyUntil = done
-	w.eng.At(done.Add(w.propDelay), func() {
-		w.Frames++
-		if w.tap != nil {
-			w.tap(p)
-			return
-		}
-		w.Deliver(p)
-	})
+	// Closure-free: delivery fires once per frame, making this (with
+	// the generator's pacing event) the hottest scheduling site in the
+	// simulation.
+	w.eng.AtCall(done.Add(w.propDelay), wireArrive, w, p)
 	return done
+}
+
+// wireArrive is the end-of-propagation callback (sim.Callback shape):
+// the frame either enters the fault tap or is delivered to the
+// receiving interface.
+func wireArrive(a, b any) {
+	w, p := a.(*Wire), b.(*netstack.Packet)
+	w.Frames++
+	if w.tap != nil {
+		w.tap(p)
+		return
+	}
+	w.Deliver(p)
 }
 
 // SetTap installs a delivery-time intercept (the fault plane's wire

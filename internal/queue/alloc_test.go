@@ -1,0 +1,39 @@
+package queue
+
+import (
+	"testing"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+)
+
+// The per-packet queue operations sit on the forwarding fast path —
+// every frame crosses at least one bounded FIFO — so they must not
+// allocate, including when the watermark hysteresis callbacks fire.
+func TestAllocsEnqueueDequeue(t *testing.T) {
+	eng := sim.NewEngine()
+	q := New("t", 8, eng.Now)
+	q.SetWatermarks(6, 2)
+	q.OnHigh = func() {}
+	q.OnLow = func() {}
+	pool := netstack.NewPool(8, 64)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			p := pool.Get(60)
+			if !q.Enqueue(p) {
+				p.Release()
+			}
+		}
+		for {
+			p := q.Dequeue()
+			if p == nil {
+				break
+			}
+			p.Release()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("enqueue/dequeue cycle allocates %v objects, want 0", allocs)
+	}
+}

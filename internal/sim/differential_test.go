@@ -1,0 +1,349 @@
+package sim
+
+// Differential test: the pooled 4-ary lazy-cancellation engine is
+// checked against a retained copy of the original implementation (a
+// binary heap of per-event allocations with eager cancellation). Both
+// engines execute the same seeded random schedule/cancel/reschedule
+// scripts — including same-instant ties and cancel-while-pending — and
+// must produce the identical firing order and identical Fired/Pending
+// counts at every run boundary.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// --- reference engine: the pre-overhaul implementation, verbatim ---
+
+type refEvent struct {
+	when  Time
+	seq   uint64
+	index int
+	fn    func()
+}
+
+func (e *refEvent) pendingRef() bool { return e != nil && e.index >= 0 }
+
+type refEngine struct {
+	now     Time
+	heap    []*refEvent
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+func (e *refEngine) at(t Time, fn func()) *refEvent {
+	if t < e.now {
+		panic(fmt.Sprintf("ref: event scheduled at %v, before now %v", t, e.now))
+	}
+	ev := &refEvent{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+func (e *refEngine) cancel(ev *refEvent) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	e.remove(ev)
+	ev.fn = nil
+}
+
+func (e *refEngine) step() bool {
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+func (e *refEngine) run(until Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		if len(e.heap) == 0 || e.heap[0].when > until {
+			break
+		}
+		e.step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+func (e *refEngine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *refEngine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *refEngine) push(ev *refEvent) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *refEngine) pop() *refEvent {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	ev := e.heap[0]
+	e.remove(ev)
+	return ev
+}
+
+func (e *refEngine) remove(ev *refEvent) {
+	i := ev.index
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i != last && i < len(e.heap) {
+		e.down(i)
+		e.up(i)
+	}
+	ev.index = -1
+}
+
+func (e *refEngine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *refEngine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && e.less(right, left) {
+			smallest = right
+		}
+		if !e.less(smallest, i) {
+			break
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// --- op scripts ---
+
+type opKind int
+
+const (
+	opSchedule opKind = iota // schedule event `id` after `delay`
+	opCancel                 // cancel event `target` (may already be fired/cancelled)
+	opResched                // cancel `target`, then schedule `id` after `delay`
+	opAdvance                // run until now+delay, then compare state
+)
+
+type op struct {
+	kind   opKind
+	id     int
+	target int
+	delay  Duration
+}
+
+// genScript builds a random but fully pre-planned op sequence. Delays
+// are drawn from a small range with heavy mass on zero so that
+// same-instant FIFO ties are common, and cancel targets are drawn from
+// all previously used ids so that stale cancels (fired or already
+// cancelled) are exercised alongside genuine cancel-while-pending.
+func genScript(rng *rand.Rand, n int) []op {
+	var script []op
+	nextID := 0
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			script = append(script, op{kind: opSchedule, id: nextID, delay: randDelay(rng)})
+			nextID++
+		case r < 6 && nextID > 0:
+			script = append(script, op{kind: opCancel, target: rng.Intn(nextID)})
+		case r < 8 && nextID > 0:
+			script = append(script, op{
+				kind: opResched, target: rng.Intn(nextID),
+				id: nextID, delay: randDelay(rng),
+			})
+			nextID++
+		default:
+			script = append(script, op{kind: opAdvance, delay: Duration(rng.Intn(500))})
+		}
+	}
+	return script
+}
+
+func randDelay(rng *rand.Rand) Duration {
+	if rng.Intn(3) == 0 {
+		return 0 // same-instant tie with whatever else is due now
+	}
+	return Duration(rng.Intn(300))
+}
+
+// childSpec decides — purely from the parent id — whether a firing
+// event schedules a follow-up, so both engines make identical choices
+// without sharing state.
+func childSpec(id int) (child int, delay Duration, ok bool) {
+	if id%3 != 0 {
+		return 0, 0, false
+	}
+	return id + 1_000_000, Duration((id*37)%97 + 1), true
+}
+
+// runNew executes script on the pooled engine, returning the firing
+// order and (fired, pending) observed after every advance.
+func runNew(script []op) (order []int, marks [][2]uint64) {
+	eng := NewEngine()
+	handles := map[int]Handle{}
+	var fire Callback
+	fire = func(a, _ any) {
+		id := a.(int)
+		order = append(order, id)
+		if child, d, ok := childSpec(id); ok {
+			handles[child] = eng.AfterCall(d, fire, child, nil)
+		}
+	}
+	for _, o := range script {
+		switch o.kind {
+		case opSchedule:
+			handles[o.id] = eng.AfterCall(o.delay, fire, o.id, nil)
+		case opCancel:
+			eng.Cancel(handles[o.target])
+		case opResched:
+			eng.Cancel(handles[o.target])
+			handles[o.id] = eng.AfterCall(o.delay, fire, o.id, nil)
+		case opAdvance:
+			eng.Run(eng.Now().Add(o.delay))
+			marks = append(marks, [2]uint64{eng.Fired(), uint64(eng.Pending())})
+		}
+	}
+	eng.Run(eng.Now().Add(Duration(1 << 32))) // drain
+	marks = append(marks, [2]uint64{eng.Fired(), uint64(eng.Pending())})
+	return order, marks
+}
+
+// runRef executes the same script on the reference engine.
+func runRef(script []op) (order []int, marks [][2]uint64) {
+	eng := &refEngine{}
+	events := map[int]*refEvent{}
+	var schedule func(id int, d Duration)
+	schedule = func(id int, d Duration) {
+		events[id] = eng.at(eng.now.Add(d), func() {
+			order = append(order, id)
+			if child, cd, ok := childSpec(id); ok {
+				schedule(child, cd)
+			}
+		})
+	}
+	for _, o := range script {
+		switch o.kind {
+		case opSchedule:
+			schedule(o.id, o.delay)
+		case opCancel:
+			eng.cancel(events[o.target])
+		case opResched:
+			eng.cancel(events[o.target])
+			schedule(o.id, o.delay)
+		case opAdvance:
+			eng.run(eng.now.Add(o.delay))
+			marks = append(marks, [2]uint64{eng.fired, uint64(len(eng.heap))})
+		}
+	}
+	eng.run(eng.now.Add(Duration(1 << 32)))
+	marks = append(marks, [2]uint64{eng.fired, uint64(len(eng.heap))})
+	return order, marks
+}
+
+func TestEngineDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		script := genScript(rng, 400)
+		gotOrder, gotMarks := runNew(script)
+		wantOrder, wantMarks := runRef(script)
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d",
+				seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: firing order diverges at position %d: got id %d, reference id %d",
+					seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+		if len(gotMarks) != len(wantMarks) {
+			t.Fatalf("seed %d: %d advance marks vs reference %d", seed, len(gotMarks), len(wantMarks))
+		}
+		for i := range gotMarks {
+			if gotMarks[i] != wantMarks[i] {
+				t.Fatalf("seed %d: (fired, pending) at mark %d = %v, reference %v",
+					seed, i, gotMarks[i], wantMarks[i])
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialCancelStorm drives the cancel-heavy pattern the
+// lazy-cancellation compactor exists for: most scheduled events are
+// cancelled before firing, at far-future deadlines, interleaved with
+// live near-term work. The pooled engine must still agree with the
+// reference exactly.
+func TestEngineDifferentialCancelStorm(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var script []op
+		id := 0
+		for i := 0; i < 2000; i++ {
+			// Far-future timer, cancelled a few ops later (an RTO pattern).
+			script = append(script, op{kind: opSchedule, id: id, delay: Duration(1<<40 + rng.Intn(1000))})
+			script = append(script, op{kind: opSchedule, id: id + 1, delay: randDelay(rng)})
+			script = append(script, op{kind: opCancel, target: id})
+			id += 2
+			if i%50 == 0 {
+				script = append(script, op{kind: opAdvance, delay: Duration(rng.Intn(200))})
+			}
+		}
+		gotOrder, gotMarks := runNew(script)
+		wantOrder, wantMarks := runRef(script)
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: order diverges at %d: got %d, want %d", seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+		for i := range gotMarks {
+			if gotMarks[i] != wantMarks[i] {
+				t.Fatalf("seed %d: (fired, pending) at mark %d = %v, reference %v",
+					seed, i, gotMarks[i], wantMarks[i])
+			}
+		}
+	}
+}

@@ -82,7 +82,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	var victim *Event
+	var victim Handle
 	e.At(5, func() { e.Cancel(victim) })
 	victim = e.At(10, func() { fired++ })
 	e.Run(100)
@@ -145,7 +145,7 @@ func TestEngineHeapProperty(t *testing.T) {
 	check := func(times []uint16, cancelMask []bool) bool {
 		e := NewEngine()
 		var fired []Time
-		var evs []*Event
+		var evs []Handle
 		for _, ti := range times {
 			at := Time(ti)
 			evs = append(evs, e.At(at, func() { fired = append(fired, at) }))
@@ -185,6 +185,146 @@ func TestEnginePendingCount(t *testing.T) {
 	e.Cancel(a)
 	if e.Pending() != 1 {
 		t.Fatalf("Pending = %d after cancel, want 1", e.Pending())
+	}
+}
+
+// TestEngineRunBoundary covers the single-traversal Run loop at its
+// edge: events landing exactly at `until` fire (including ones
+// scheduled at `until` from within a boundary event), later events
+// stay queued, and the return value counts only this Run's fires.
+func TestEngineRunBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.At(100, func() {
+		fired = append(fired, "boundary")
+		// Same-instant cascade scheduled from a boundary event must
+		// still fire inside this Run.
+		e.At(100, func() { fired = append(fired, "cascade") })
+	})
+	e.At(101, func() { fired = append(fired, "late") })
+	if n := e.Run(100); n != 2 {
+		t.Fatalf("Run(100) fired %d events, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != "boundary" || fired[1] != "cascade" {
+		t.Fatalf("fired %v, want [boundary cascade]", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the late event still queued", e.Pending())
+	}
+	if n := e.Run(200); n != 1 {
+		t.Fatalf("second Run fired %d events, want 1", n)
+	}
+}
+
+// TestEngineStopMidBatch stops the engine from inside a batch of
+// same-instant events: the current event completes, its same-instant
+// peers stay queued, and a resumed Run fires them in the original FIFO
+// order.
+func TestEngineStopMidBatch(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(10, func() {
+			fired = append(fired, i)
+			if i == 1 {
+				e.Stop()
+			}
+		})
+	}
+	if n := e.Run(100); n != 2 {
+		t.Fatalf("Run fired %d events before Stop, want 2", n)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d after Stop, want 3", e.Pending())
+	}
+	// Run advances the clock to until even when stopped early; the
+	// remaining same-instant events still fire on the resumed Run.
+	// (Long-standing semantics, pinned here so the overhaul keeps them.)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v after Stop, want 100", e.Now())
+	}
+	e.Run(100)
+	want := []int{0, 1, 2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v (FIFO order must survive Stop/resume)", fired, want)
+		}
+	}
+}
+
+// TestEngineLazyCancelRecycling exercises the interaction between the
+// free-list pool and generation-checked handles: a handle kept across
+// its event's recycling must go inert rather than cancel the Event's
+// next occupant.
+func TestEngineLazyCancelRecycling(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h1 := e.At(10, func() { fired++ })
+	e.Run(10) // h1 fires; its Event returns to the free list
+	if h1.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+	h2 := e.At(20, func() { fired++ }) // reuses the pooled Event
+	e.Cancel(h1)                       // stale handle: must not touch h2
+	if !h2.Pending() {
+		t.Fatal("stale Cancel killed the pooled Event's new occupant")
+	}
+	e.Run(30)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if h2.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+}
+
+// TestEngineCancelHeavyCompaction drives the lazy-cancellation path
+// through its compaction threshold: thousands of schedule/cancel pairs
+// with far-future deadlines must not change what actually fires.
+func TestEngineCancelHeavyCompaction(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		h := e.At(Time(1_000_000+i), func() { t.Error("cancelled event fired") })
+		e.At(Time(i+1), func() { fired++ })
+		e.Cancel(h)
+	}
+	if e.Pending() != 5000 {
+		t.Fatalf("Pending = %d, want 5000 live events", e.Pending())
+	}
+	e.Run(10_000)
+	if fired != 5000 {
+		t.Fatalf("fired = %d, want 5000", fired)
+	}
+}
+
+// TestEngineAtCall covers the closure-free scheduling variant,
+// including handle cancellation.
+func TestEngineAtCall(t *testing.T) {
+	e := NewEngine()
+	type rec struct{ got []int }
+	r := &rec{}
+	add := func(a, b any) { a.(*rec).got = append(a.(*rec).got, b.(int)) }
+	e.AtCall(10, add, r, 1)
+	h := e.AtCall(20, add, r, 2)
+	e.AfterCall(30, add, r, 3)
+	if !h.Pending() || h.When() != 20 {
+		t.Fatalf("handle: pending=%v when=%v, want pending at 20", h.Pending(), h.When())
+	}
+	e.Cancel(h)
+	if h.Pending() {
+		t.Fatal("cancelled handle still pending")
+	}
+	e.Run(100)
+	if len(r.got) != 2 || r.got[0] != 1 || r.got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", r.got)
 	}
 }
 
