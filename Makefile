@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-baseline bench-full figures plots examples cover fuzz clean
+.PHONY: all build test vet lint lkvet bench bench-baseline bench-full figures plots examples cover fuzz clean
 
 all: build vet test
 
@@ -12,6 +12,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static-invariant gate, matching the CI lint lane: the repo's own
+# analyzers (cmd/lkvet: simdeterminism, hotalloc, handleleak, uncharged)
+# plus `go vet`, then staticcheck and govulncheck at the versions pinned
+# in scripts/lint-extra.sh (skipped gracefully when offline). See
+# DESIGN.md "Static invariants" for what the custom passes enforce and
+# how to excuse a finding with //lkvet:allow.
+lint: lkvet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+	./scripts/lint-extra.sh
+
+lkvet:
+	$(GO) run ./cmd/lkvet -vet ./...
 
 test:
 	$(GO) test ./...

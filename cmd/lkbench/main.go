@@ -220,10 +220,15 @@ func compare(base Baseline, got map[string]Result, threshold float64) error {
 		fmt.Printf("%-22s %10.2f ns/op (base %10.2f)  %3.0f allocs/op (base %3.0f)  %+6.1f%%  %s\n",
 			name, g.NsPerOp, b.NsPerOp, g.AllocsPerOp, b.AllocsPerOp, (ratio-1)*100, status)
 	}
+	var newNames []string
 	for name := range got {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("%-22s new benchmark, not in baseline (run `make bench-baseline` to add)\n", name)
+			newNames = append(newNames, name)
 		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Printf("%-22s new benchmark, not in baseline (run `make bench-baseline` to add)\n", name)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))

@@ -1,0 +1,139 @@
+// Command lkvet is the repository's static-invariant checker: a
+// multichecker that runs the custom passes in internal/analysis —
+// simdeterminism, hotalloc, handleleak and uncharged — over the
+// simulation packages, optionally alongside `go vet`.
+//
+// The passes enforce properties the test suite can only observe after
+// the fact: runs are pure functions of (config, seed), the event-engine
+// hot path stays allocation-free, timer handles follow the pooled
+// engine's ownership discipline, and simulated work charges simulated
+// cycles. Violations are fixed or excused inline with
+// //lkvet:allow <analyzer> <reason>; stale or malformed excuses are
+// themselves errors, so the exception list can only shrink.
+//
+// Usage:
+//
+//	lkvet [-vet] [-list] [packages...]
+//
+// Package patterns default to ./internal/... — the audited surface. Test
+// files are not analyzed: tests legitimately use wall clocks and
+// unsorted iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"livelock/internal/analysis"
+	"livelock/internal/analysis/handleleak"
+	"livelock/internal/analysis/hotalloc"
+	"livelock/internal/analysis/simdeterminism"
+	"livelock/internal/analysis/uncharged"
+)
+
+var analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	hotalloc.Analyzer,
+	handleleak.Analyzer,
+	uncharged.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lkvet", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	runVet := fs.Bool("vet", false, "also run `go vet` over the same packages")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+
+	pkgs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	loader := analysis.NewLoader()
+	var loaded []*analysis.Package
+	for _, p := range pkgs {
+		pkg, err := loader.Load(p.dir, p.importPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		loaded = append(loaded, pkg)
+	}
+
+	runner := &analysis.Runner{Analyzers: analyzers}
+	diags, err := runner.Run(loaded)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+
+	exit := 0
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lkvet: %d problem(s) in %d package(s)\n", len(diags), len(loaded))
+		exit = 1
+	}
+	if *runVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+type listedPkg struct {
+	dir        string
+	importPath string
+}
+
+// expand resolves package patterns to directories via the go command.
+func expand(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("lkvet: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var pkgs []listedPkg
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line == "" {
+			continue
+		}
+		dir, importPath, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("lkvet: unexpected go list output: %q", line)
+		}
+		pkgs = append(pkgs, listedPkg{dir: dir, importPath: importPath})
+	}
+	return pkgs, nil
+}

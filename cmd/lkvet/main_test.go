@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"simdeterminism", "hotalloc", "handleleak", "uncharged"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./../../internal/stats"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on a clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings: %s", out.String())
+	}
+}
+
+func TestViolationExitsOne(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./testdata/bad"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[simdeterminism]") || !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("missing the wall-clock finding:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "problem(s)") {
+		t.Errorf("missing summary line on stderr: %s", errOut.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./does/not/exist"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2 for an internal error", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("expected an error message on stderr")
+	}
+}

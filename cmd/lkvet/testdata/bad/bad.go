@@ -1,0 +1,9 @@
+// Package bad exists so lkvet's own test can watch it fail: it is kept
+// under testdata (invisible to ./... builds) and holds one violation
+// per analyzer surface the end-to-end test asserts on.
+package bad
+
+import "time"
+
+// Epoch reads the wall clock from simulation-reachable code.
+func Epoch() int64 { return time.Now().Unix() }

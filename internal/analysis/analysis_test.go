@@ -1,0 +1,136 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"livelock/internal/analysis"
+)
+
+// writeFixture materializes a one-package fixture in a temp dir. The
+// package imports only the standard library, so loading works from any
+// working directory.
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// identAnalyzer reports every identifier whose name starts with "bad".
+var identAnalyzer = &analysis.Analyzer{
+	Name: "simdeterminism", // reuse a known name so allow annotations resolve
+	Doc:  "test analyzer",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "bad") {
+					pass.Reportf(id.Pos(), "identifier %s is bad", id.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func run(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	dir := writeFixture(t, map[string]string{"a.go": src})
+	pkg, err := analysis.NewLoader().Load(dir, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &analysis.Runner{Analyzers: []*analysis.Analyzer{identAnalyzer}}
+	diags, err := runner.Run([]*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestReportAndOrdering(t *testing.T) {
+	diags := run(t, `package p
+
+var badTwo int
+var badOne int
+`)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	// Sorted by position, not report order.
+	if diags[0].Position.Line != 3 || diags[1].Position.Line != 4 {
+		t.Errorf("diagnostics out of order: %v", diags)
+	}
+	if !strings.Contains(diags[0].String(), "[simdeterminism] identifier badTwo is bad") {
+		t.Errorf("unexpected formatting: %s", diags[0])
+	}
+}
+
+func TestAllowSuppressesSameAndNextLine(t *testing.T) {
+	diags := run(t, `package p
+
+//lkvet:allow simdeterminism reviewed: fine here
+var badAbove int
+
+var badInline int //lkvet:allow simdeterminism reviewed inline
+
+var badKept int
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %v, want exactly the unsuppressed diagnostic", diags)
+	}
+	if !strings.Contains(diags[0].Message, "badKept") {
+		t.Errorf("wrong survivor: %v", diags[0])
+	}
+}
+
+func TestUnusedAndMalformedAllow(t *testing.T) {
+	diags := run(t, `package p
+
+//lkvet:allow simdeterminism nothing here anymore
+var fine int
+
+//lkvet:allow simdeterminism
+var alsoFine int
+
+//lkvet:allow mystery because
+var stillFine int
+`)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for i, wantSub := range []string{"unused //lkvet:allow", "a reason is required", "unknown analyzer mystery"} {
+		if diags[i].Analyzer != analysis.MetaAnalyzer || !strings.Contains(diags[i].Message, wantSub) {
+			t.Errorf("diag %d = %v, want %q from %s", i, diags[i], wantSub, analysis.MetaAnalyzer)
+		}
+	}
+}
+
+// An annotation for an analyzer that did not run is held in reserve, not
+// reported as unused: lkvet runs all passes, but single-pass runs (and
+// analysistest) must not flag the other passes' annotations.
+func TestAllowForPassThatDidNotRun(t *testing.T) {
+	diags := run(t, `package p
+
+//lkvet:allow hotalloc cold path, measured
+var fine int
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none", diags)
+	}
+}
+
+func TestLoadRejectsBrokenPackage(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"a.go": "package p\n\nfunc f() { undefined() }\n"})
+	if _, err := analysis.NewLoader().Load(dir, "fixture"); err == nil {
+		t.Fatal("expected a type error, got none")
+	}
+}

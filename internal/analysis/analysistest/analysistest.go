@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is an ordinary Go package under the analyzer's
+// testdata/src/<name>/ directory. Expected diagnostics are written as
+// trailing comments on the offending line:
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// Each `// want` comment holds one or more Go-quoted regular expressions;
+// every reported diagnostic on that line must be matched by one of them,
+// and every expectation must match at least one diagnostic. Lines without
+// a want comment must produce no diagnostics. //lkvet:allow suppression
+// and its hygiene reporting run exactly as in cmd/lkvet, so fixtures can
+// (and do) prove the escape hatch works.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"livelock/internal/analysis"
+)
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/a") and checks a's diagnostics against
+// the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(dir, filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	runner := &analysis.Runner{Analyzers: []*analysis.Analyzer{a}}
+	diags, err := runner.Run([]*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts every want expectation from the fixture's
+// comments. The expectation applies to the line the comment starts on.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, w := range parseWant(t, pos, c.Text) {
+					wants = append(wants, w)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant pulls the quoted patterns out of a single comment's text.
+func parseWant(t *testing.T, pos token.Position, text string) []want {
+	t.Helper()
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("// want "):])
+	rest = strings.TrimSuffix(rest, "*/")
+	var wants []want
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		var quote byte = rest[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want expectation %q: patterns must be quoted", pos, rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated pattern in want expectation %q", pos, rest)
+		}
+		raw := rest[:end+2]
+		rest = rest[end+2:]
+		pat := raw[1 : len(raw)-1]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+			}
+			pat = unq
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return wants
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowAnn is one parsed //lkvet:allow annotation.
+type allowAnn struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const allowPrefix = "lkvet:allow"
+
+// collectAllows parses every //lkvet:allow annotation in files. Malformed
+// annotations — no analyzer name, an analyzer name not in known, or a
+// missing reason — are reported as MetaAnalyzer diagnostics rather than
+// silently ignored, so a typo cannot disable a real check.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allowAnn, []Diagnostic) {
+	var anns []*allowAnn
+	var diags []Diagnostic
+	report := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{Position: pos, Analyzer: MetaAnalyzer, Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				// Fixture files pair annotations with analysistest
+				// expectations on the same line; the marker is not part
+				// of the reason.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					report(pos, "malformed //lkvet:allow: missing analyzer name (want //lkvet:allow <analyzer> <reason>)")
+				case !known[name]:
+					report(pos, "malformed //lkvet:allow: unknown analyzer "+name)
+				case reason == "":
+					report(pos, "malformed //lkvet:allow "+name+": a reason is required")
+				default:
+					anns = append(anns, &allowAnn{pos: pos, analyzer: name, reason: reason})
+				}
+			}
+		}
+	}
+	return anns, diags
+}

@@ -1,0 +1,175 @@
+// Package handleleak enforces the sim.Handle ownership discipline. The
+// engine's events are pooled and generation-checked: a Handle held by
+// value stays safe forever (stale cancels go inert), but that protection
+// assumes handles are (a) kept when the holder has a teardown path that
+// should cancel them, and (b) stored by value. A discarded handle in a
+// type that cancels its other timers is a cancellation leak — the timer
+// outlives the teardown and fires into freed state; a *sim.Handle points
+// into mutable storage, so the (event, generation) pair read at cancel
+// time need not be the pair that was scheduled, defeating the generation
+// check.
+package handleleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"livelock/internal/analysis"
+)
+
+const simPath = "livelock/internal/sim"
+
+// Analyzer is the handleleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "handleleak",
+	Doc: "flag discarded sim.Handle results in types that cancel timers, " +
+		"and storage of sim.Handle by pointer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	cancelers := collectCancelers(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				checkPointerType(pass, n)
+			case *ast.UnaryExpr:
+				checkAddressOf(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil && hasCancelPath(pass, n, cancelers) {
+					checkDiscards(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectCancelers returns the named receiver types with at least one
+// method that calls Engine.Cancel — the types that manage timer
+// lifecycles and therefore must keep every handle they schedule.
+func collectCancelers(pass *analysis.Pass) map[types.Object]bool {
+	cancelers := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			obj := recvTypeObj(pass, fd)
+			if obj == nil || cancelers[obj] {
+				continue
+			}
+			if callsCancel(pass, fd.Body) {
+				cancelers[obj] = true
+			}
+		}
+	}
+	return cancelers
+}
+
+// hasCancelPath reports whether fd belongs to a context with a
+// cancel/teardown path: a method on a canceler type, or a plain function
+// that itself calls Cancel.
+func hasCancelPath(pass *analysis.Pass, fd *ast.FuncDecl, cancelers map[types.Object]bool) bool {
+	if fd.Recv != nil {
+		return cancelers[recvTypeObj(pass, fd)]
+	}
+	return callsCancel(pass, fd.Body)
+}
+
+func recvTypeObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+func callsCancel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if analysis.IsMethod(fn, simPath, "Engine", "Cancel") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDiscards flags expression statements and blank assignments that
+// drop a sim.Handle result inside a cancel-managing context.
+func checkDiscards(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && returnsHandle(pass, call) {
+				pass.Reportf(n.Pos(),
+					"sim.Handle result discarded in a type with a cancel path: store it so teardown can cancel the timer (or annotate why fire-and-forget is safe)")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && returnsHandle(pass, call) {
+						pass.Reportf(n.Pos(),
+							"sim.Handle result assigned to _ in a type with a cancel path: store it so teardown can cancel the timer (or annotate why fire-and-forget is safe)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func returnsHandle(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	return t != nil && analysis.NamedType(t, simPath, "Handle")
+}
+
+// checkPointerType flags *sim.Handle wherever it appears as a type: a
+// struct field, variable, parameter or result.
+func checkPointerType(pass *analysis.Pass, star *ast.StarExpr) {
+	tv, ok := pass.TypesInfo.Types[star]
+	if !ok || !tv.IsType() {
+		return
+	}
+	p, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return
+	}
+	if analysis.NamedType(p.Elem(), simPath, "Handle") {
+		pass.Reportf(star.Pos(),
+			"*sim.Handle stores a handle behind a pointer, defeating the value semantics the generation check relies on: store sim.Handle by value (the zero Handle is safe)")
+	}
+}
+
+// checkAddressOf flags &h where h is a sim.Handle.
+func checkAddressOf(pass *analysis.Pass, u *ast.UnaryExpr) {
+	if u.Op != token.AND {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(u.X)
+	if t != nil && analysis.NamedType(t, simPath, "Handle") {
+		pass.Reportf(u.Pos(),
+			"taking the address of a sim.Handle aliases mutable handle storage: pass and store handles by value")
+	}
+}

@@ -1,0 +1,12 @@
+package handleleak_test
+
+import (
+	"testing"
+
+	"livelock/internal/analysis/analysistest"
+	"livelock/internal/analysis/handleleak"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, handleleak.Analyzer, "testdata/src/a")
+}

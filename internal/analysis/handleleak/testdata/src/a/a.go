@@ -1,0 +1,38 @@
+// Package a is the handleleak violation/allowed fixture.
+package a
+
+import "livelock/internal/sim"
+
+func tickfn(a, b any) {}
+
+// ticker has a cancel path, so every handle it schedules must be kept.
+type ticker struct {
+	eng   *sim.Engine
+	timer sim.Handle
+}
+
+func (t *ticker) arm() {
+	t.timer = t.eng.AfterCall(1, tickfn, t, nil) // stored: fine
+	t.eng.AfterCall(1, tickfn, t, nil)           // want `sim\.Handle result discarded in a type with a cancel path`
+	_ = t.eng.AfterCall(1, tickfn, t, nil)       // want `sim\.Handle result assigned to _`
+
+	//lkvet:allow handleleak one-shot kick that must survive Stop by design
+	t.eng.AfterCall(1, tickfn, t, nil)
+}
+
+func (t *ticker) stop() { t.eng.Cancel(t.timer) }
+
+// fire has no teardown path; fire-and-forget is its contract.
+type fire struct{ eng *sim.Engine }
+
+func (f *fire) once() {
+	f.eng.AfterCall(1, tickfn, f, nil) // fine: nothing here ever cancels
+}
+
+type holder struct {
+	h *sim.Handle // want `\*sim\.Handle stores a handle behind a pointer`
+}
+
+func addr(t *ticker) *sim.Handle { // want `\*sim\.Handle stores a handle behind a pointer`
+	return &t.timer // want `taking the address of a sim\.Handle`
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"livelock/internal/analysis/analysistest"
+	"livelock/internal/analysis/hotalloc"
+)
+
+func TestViolations(t *testing.T) {
+	// The fixture package plays the role of an AllocsPerRun-gated
+	// package so the fmt rule applies to it.
+	analysistest.Run(t, hotalloc.New(map[string]bool{"a": true}), "testdata/src/a")
+}

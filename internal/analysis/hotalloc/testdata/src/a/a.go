@@ -1,0 +1,50 @@
+// Package a is the hotalloc violation/allowed fixture.
+package a
+
+import (
+	"fmt"
+
+	"livelock/internal/sim"
+)
+
+type node struct {
+	eng *sim.Engine
+	n   int
+}
+
+func tick(a, b any) {}
+
+func (n *node) bump() {}
+
+func schedule(nd *node, eng *sim.Engine) {
+	eng.After(5, func() { nd.n++ }) // want `closure literal passed to Engine\.After`
+	eng.At(10, nd.bump)             // want `bound method value passed to Engine\.At`
+
+	eng.AfterCall(5, tick, nd, nil)                             // pooled path with pointer state: fine
+	eng.AfterCall(5, func(a, b any) { a.(*node).n++ }, nd, nil) // capture-free literal: fine
+	eng.AfterCall(5, func(a, b any) { nd.n++ }, nil, nil)       // want `callback literal captures nd`
+	eng.AtCall(10, nd.bumpCall, nd, nil)                        // want `bound method value as the AtCall callback`
+	eng.AtCall(10, tick, nd.n, nil)                             // want `AtCall argument boxes a int`
+	eng.AfterCall(5, tick, nd, label{})                         // want `AfterCall argument boxes a a\.label`
+
+	//lkvet:allow hotalloc cold setup path, scheduled once per trial
+	eng.After(5, func() { nd.n++ })
+}
+
+type label struct{ id int }
+
+func (n *node) bumpCall(a, b any) {}
+
+func format(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf allocates`
+}
+
+// Stringer-style formatting methods are cold by convention.
+func (n *node) String() string { return fmt.Sprintf("node %d", n.n) }
+
+// Panic messages are off the hot path by definition.
+func check(ok bool) {
+	if !ok {
+		panic(fmt.Sprintf("invariant violated"))
+	}
+}

@@ -1,0 +1,16 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"livelock/internal/analysis/analysistest"
+	"livelock/internal/analysis/simdeterminism"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer, "testdata/src/a")
+}
+
+func TestAllowAnnotations(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer, "testdata/src/allow")
+}

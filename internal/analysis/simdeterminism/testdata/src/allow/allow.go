@@ -1,0 +1,23 @@
+// Package allow proves the //lkvet:allow escape hatch: an annotation
+// suppresses exactly the diagnostic on its own (or the next) line, a
+// stale annotation is itself reported, and malformed annotations are
+// rejected.
+package allow
+
+import "time"
+
+func suppressed() {
+	//lkvet:allow simdeterminism wall-clock progress display for the operator, not measurement
+	_ = time.Now()
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func inline() {
+	_ = time.Now() //lkvet:allow simdeterminism inline annotation form
+}
+
+//lkvet:allow simdeterminism stale excuse with nothing left to excuse // want `unused //lkvet:allow simdeterminism annotation`
+
+//lkvet:allow simdeterminism // want `a reason is required`
+
+//lkvet:allow nosuchpass because reasons // want `unknown analyzer nosuchpass`

@@ -1,0 +1,67 @@
+// Package a is the uncharged violation/allowed fixture.
+package a
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/sim"
+)
+
+type model struct {
+	eng  *sim.Engine
+	task *cpu.Task
+	hits int
+}
+
+func (m *model) work() { m.hits++ }
+
+// chain does its work through another local call, so the tree has calls
+// but still no Post.
+func (m *model) chain() { m.work() }
+
+// chargedTick posts its work to a task: cycles are accounted. The
+// self-rescheduling AfterCall is bookkeeping and does not hide the Post.
+func chargedTick(a, b any) {
+	m := a.(*model)
+	m.task.Post(3, nil)
+	m.eng.AfterCall(7, chargedTick, m, nil)
+}
+
+// freeTick mutates model state through local calls without ever posting:
+// simulated work the CPU never sees.
+func freeTick(a, b any) {
+	m := a.(*model)
+	m.work()
+	m.eng.AfterCall(7, freeTick, m, nil) // want `engine-scheduled callback does work without charging CPU cycles`
+}
+
+func start(m *model) {
+	m.eng.AfterCall(7, chargedTick, m, nil) // fine: posts on every firing
+	m.eng.AfterCall(7, freeTick, m, nil)    // want `engine-scheduled callback does work without charging CPU cycles`
+
+	//lkvet:allow uncharged models an external host, not the router CPU
+	m.eng.AfterCall(7, freeTick, m, nil)
+
+	m.eng.After(7, m.chain) // want `engine-scheduled callback does work without charging CPU cycles`
+}
+
+// onlyBookkeeping clears a field; control without work is free by rule.
+func onlyBookkeeping(a, b any) { a.(*model).hits = 0 }
+
+func bookkeeping(m *model) {
+	m.eng.AfterCall(7, onlyBookkeeping, m, nil) // fine: no calls in the tree
+}
+
+func zeroPost(m *model) {
+	m.task.Post(0, m.work) // want `Task\.Post with zero cost`
+	m.task.Post(0, nil)    // fine: nil fn sequences bookkeeping
+	m.task.Post(3, m.work) // fine: real cost
+}
+
+func hooks(c *cpu.CPU, m *model) {
+	c.SetRunHook(func(t *cpu.Task, start, end sim.Time) { // want `run hook re-enters the CPU`
+		m.task.Post(1, nil)
+	})
+	c.SetRunHook(func(t *cpu.Task, start, end sim.Time) {
+		m.hits++ // observing is fine
+	})
+}

@@ -1,0 +1,12 @@
+package uncharged_test
+
+import (
+	"testing"
+
+	"livelock/internal/analysis/analysistest"
+	"livelock/internal/analysis/uncharged"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, uncharged.Analyzer, "testdata/src/a")
+}

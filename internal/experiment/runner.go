@@ -74,6 +74,7 @@ func runSeriesWith(run trialFunc, specs []seriesSpec, o Options) ([]Series, []Tr
 	}
 
 	var (
+		//lkvet:allow simdeterminism wall-clock elapsed time for the operator's progress display, outside the simulation
 		start = time.Now()
 		mu    sync.Mutex // serializes done counting and Progress calls
 		done  int
@@ -98,6 +99,7 @@ func runSeriesWith(run trialFunc, specs []seriesSpec, o Options) ([]Series, []Tr
 				if o.Progress != nil {
 					mu.Lock()
 					done++
+					//lkvet:allow simdeterminism progress reporting measures real elapsed time, not simulated time
 					o.Progress(done, total, time.Since(start))
 					mu.Unlock()
 				}

@@ -152,6 +152,7 @@ type ARPResolver struct {
 }
 
 type arpPending struct {
+	hop    Addr // next hop awaiting resolution, for the retry callback
 	frames [][]byte
 	tries  int
 	timer  sim.Handle
@@ -191,7 +192,7 @@ func (r *ARPResolver) Resolve(nextHop Addr, frame []byte) {
 	}
 	p := r.pending[nextHop]
 	if p == nil {
-		p = &arpPending{}
+		p = &arpPending{hop: nextHop}
 		r.pending[nextHop] = p
 		r.sendRequest(nextHop, p)
 	}
@@ -211,8 +212,13 @@ func (r *ARPResolver) sendRequest(nextHop Addr, p *arpPending) {
 		SenderHA: r.cfg.SelfMAC, SenderIP: r.cfg.SelfIP,
 		TargetIP: nextHop,
 	})
-	p.timer = r.eng.After(r.cfg.RetryInterval, func() { r.onTimeout(nextHop) })
+	p.timer = r.eng.AfterCall(r.cfg.RetryInterval, arpRetryTimeout, r, p)
 }
+
+// arpRetryTimeout is the retry-timer callback (sim.Callback shape). The
+// pending entry carries its own next hop so the schedule stays on the
+// pooled, allocation-free path — an Addr in the any slot would box.
+func arpRetryTimeout(a, b any) { a.(*ARPResolver).onTimeout(b.(*arpPending).hop) }
 
 func (r *ARPResolver) onTimeout(nextHop Addr) {
 	p := r.pending[nextHop]

@@ -3,7 +3,6 @@ package netstack
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 
 	"livelock/internal/sim"
 )
@@ -27,6 +26,7 @@ var (
 	ErrFragNeeded   = errors.New("netstack: datagram exceeds MTU with DF set")
 	ErrNotFragment  = errors.New("netstack: frame is not a fragment")
 	ErrFragOverflow = errors.New("netstack: fragment beyond maximum datagram size")
+	ErrMTUTooSmall  = errors.New("netstack: mtu too small to fragment")
 )
 
 // IsFragment reports whether an Ethernet/IPv4 frame is a fragment (MF
@@ -75,7 +75,7 @@ func FragmentFrame(frame []byte, mtu int, alloc func(n int) []byte) ([][]byte, e
 	// last.
 	maxData := (mtu - IPv4HeaderLen) &^ 7
 	if maxData <= 0 {
-		return nil, fmt.Errorf("netstack: mtu %d too small to fragment", mtu)
+		return nil, ErrMTUTooSmall
 	}
 
 	var frags [][]byte

@@ -81,9 +81,9 @@ func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire)
 	}
 	return &NIC{
 		name: name, eng: eng, mac: mac, cfg: cfg, wire: wire,
-		rxRing:     make([]*netstack.Packet, cfg.RxRing),
-		rxEnabled:  true,
-		txEnabled:  true,
+		rxRing:      make([]*netstack.Packet, cfg.RxRing),
+		rxEnabled:   true,
+		txEnabled:   true,
 		InPkts:      stats.NewCounter(name + ".ipkts"),
 		InDiscards:  stats.NewCounter(name + ".idiscards"),
 		OutPkts:     stats.NewCounter(name + ".opkts"),

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Third-party linters at pinned versions: staticcheck and govulncheck.
+# The pins keep local runs and CI honest about which rule set applies;
+# bump them deliberately, in their own PR, and note the new version in
+# the commit message.
+#
+# Both tools run via `go run module@version`, which needs the module
+# proxy. Offline checkouts (sandboxes, air-gapped machines) cannot fetch
+# them, so an unfetchable tool is reported as a SKIP rather than a
+# failure — `make lint` stays useful everywhere, and CI (which always
+# has network) enforces the pins unconditionally. Findings from a tool
+# that did run always fail.
+set -u
+
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1.1}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.4}"
+
+rc=0
+
+# run_pinned NAME MODULE@VERSION ARGS...
+# Probes with -version first: a probe failure means the tool could not be
+# fetched or built (offline), which is a skip; a real run failure after a
+# good probe means findings, which is an error.
+run_pinned() {
+    local name="$1" mod="$2"
+    shift 2
+    if ! go run "$mod" -version >/dev/null 2>&1; then
+        echo "lint-extra: SKIP $name ($mod): not fetchable (offline?)" >&2
+        return 0
+    fi
+    echo "lint-extra: $name ($mod)"
+    go run "$mod" "$@"
+}
+
+run_pinned staticcheck "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./... || rc=1
+run_pinned govulncheck "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./... || rc=1
+
+exit $rc
