@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lkvet bench bench-baseline bench-full figures plots examples cover fuzz clean
+.PHONY: all build test vet lint lkvet bench bench-baseline bench-full figures plots examples cover fuzz explore clean
 
 all: build vet test
 
@@ -78,5 +78,16 @@ fuzz:
 			-fuzztime=$(FUZZTIME) ./internal/netstack/ || exit 1; \
 	done
 
+# Exhaust every built-in exploration scenario: enumerate all bounded
+# interleavings and fault outcomes, checking the six livelock-freedom
+# invariants in every reachable state (see DESIGN.md §9). Fails on the
+# first scenario with a violation; counterexample scripts are dumped
+# under explore-artifacts/ for replay with lkexplore -replay.
+explore:
+	for sc in intrloss feedback cyclelimit; do \
+		$(GO) run ./cmd/lkexplore -scenario $$sc -dump explore-artifacts || exit 1; \
+	done
+
 clean:
 	rm -f test_output.txt bench_output.txt
+	rm -rf explore-artifacts

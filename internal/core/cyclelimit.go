@@ -89,5 +89,10 @@ func (l *CycleLimiter) OnIdle() {
 // Used returns the running total for the current period.
 func (l *CycleLimiter) Used() sim.Duration { return l.used }
 
+// Budget returns the per-period packet-processing budget (Period ×
+// Threshold). Exposed for invariant checking: once Used crosses it the
+// limiter must be inhibiting input.
+func (l *CycleLimiter) Budget() sim.Duration { return l.budget }
+
 // Inhibited reports whether the limiter currently inhibits input.
 func (l *CycleLimiter) Inhibited() bool { return l.gate.Holds(l.source) }

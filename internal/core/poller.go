@@ -129,6 +129,16 @@ func (p *Poller) SetUsageHook(fn func(sim.Duration)) { p.usage = fn }
 // Scheduled reports whether the poller is scheduled or running.
 func (p *Poller) Scheduled() bool { return p.scheduled }
 
+// QuotaUsed returns the number of work units handled so far in the
+// current callback visit; it resets to zero at each visit boundary.
+// Exposed for invariant checking: it must never exceed a positive
+// configured Quota.
+func (p *Poller) QuotaUsed() int { return p.usedQuota }
+
+// Quota returns the configured per-visit packet quota (zero or
+// negative means unlimited).
+func (p *Poller) Quota() int { return p.cfg.Quota }
+
 // Schedule makes the polling thread runnable, if it is not already. This
 // is everything an interrupt handler does in the modified kernel (§6.4:
 // "the interrupt handler ... simply schedules the polling thread (if it

@@ -208,6 +208,16 @@ func (c *CPU) NewTask(name string, ipl IPL, prio int, class Class) *Task {
 	return t
 }
 
+// VisitTasks calls fn for every registered task in creation order.
+// Construction is deterministic, so the order is stable across runs of
+// the same configuration; exploration harnesses rely on that to
+// fingerprint per-task backlog canonically. fn must not post work.
+func (c *CPU) VisitTasks(fn func(*Task)) {
+	for _, t := range c.tasks {
+		fn(t)
+	}
+}
+
 // SetRunHook installs fn, invoked every time the CPU stops executing a
 // task — item completion or mid-item preemption — with the task and the
 // half-open interval [start, end) it just held the processor for. The

@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Violation is a replayable counterexample: the schedule script (the
+// choice prefix with trailing defaults trimmed) that drives a fresh
+// execution of the named scenario into the named invariant violation.
+// This is the artifact lkexplore dumps and the regression corpus under
+// testdata/ commits.
+type Violation struct {
+	Scenario  string `json:"scenario"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	WhenNS    int64  `json:"when_ns"`
+	Picks     []Pick `json:"picks"`
+}
+
+// Encode renders the counterexample as indented JSON with a trailing
+// newline, the committed-corpus format.
+func (v *Violation) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeViolation parses and validates a counterexample script:
+// unknown fields are rejected, the scenario must be a known built-in,
+// the invariant must exist, and every pick must be internally
+// consistent. This is the validation lkexplore -validate applies.
+func DecodeViolation(data []byte) (*Violation, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var v Violation
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("explore: bad counterexample: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("explore: bad counterexample: trailing data")
+	}
+	if _, err := ScenarioByName(v.Scenario); err != nil {
+		return nil, err
+	}
+	if _, err := ParseInvariants(v.Invariant); err != nil || v.Invariant == "all" || v.Invariant == "" {
+		return nil, fmt.Errorf("explore: bad counterexample: invalid invariant %q", v.Invariant)
+	}
+	if v.WhenNS < 0 {
+		return nil, fmt.Errorf("explore: bad counterexample: negative violation time")
+	}
+	for i, p := range v.Picks {
+		switch {
+		case p.Kind == "":
+			return nil, fmt.Errorf("explore: bad counterexample: pick %d has no kind", i)
+		case p.N < 2:
+			return nil, fmt.Errorf("explore: bad counterexample: pick %d has %d alternatives", i, p.N)
+		case p.Alt < 0 || p.Alt >= p.N:
+			return nil, fmt.Errorf("explore: bad counterexample: pick %d chose %d of %d", i, p.Alt, p.N)
+		}
+	}
+	return &v, nil
+}

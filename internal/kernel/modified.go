@@ -257,17 +257,60 @@ func (m *polledPath) attachQueueFeedback(q *queue.Queue, source string) *core.Fe
 	return fb
 }
 
-// onTick counts hardclock ticks into cycle-limiter periods.
+// onTick counts hardclock ticks into cycle-limiter periods and runs
+// the interface watchdog.
 func (m *polledPath) onTick(ticks uint64) {
-	if m.limiter == nil {
+	if m.limiter != nil {
+		period := uint64(m.limiter.Period / m.r.Cfg.ClockTick)
+		if period == 0 {
+			period = 1
+		}
+		if ticks%period == 0 {
+			m.limiter.Tick()
+		}
+	}
+	m.watchdog()
+}
+
+// watchdog recovers, once per hardclock tick, from the two ways the
+// event-driven polled path can settle with work it will never notice —
+// the analogue of BSD's if_watchdog slow-timeout. Both states were
+// found by the schedule explorer (internal/explore) and are otherwise
+// permanent: no future event re-examines them.
+//
+// Receive side: a ring holds frames, receive interrupts are unmasked,
+// yet no interrupt is pending. The only way in is a lost interrupt
+// assertion (fault-injected; in a fault-free run unmasked+backlogged
+// implies asserted, so the watchdog never fires). RxIntrDone re-asserts
+// exactly as the driver's re-enable path would have.
+//
+// Transmit side: an ifqueue holds frames while every transmit
+// descriptor sits completed-but-unreclaimed. Reclaim is lazy — done by
+// poller rounds or the transmit interrupt — but the transmit interrupt
+// was already latched pending when the last completions arrived, so
+// with receive quiet nothing ever schedules the poller again
+// (TxCompletedLen == TxRing implies nothing is queued or in flight, so
+// no completion event is coming either). One poller round reclaims the
+// ring and restarts output.
+//
+// Gated off while input is inhibited: the gate's OnChange hook handles
+// recovery at reopen, and a closed gate means the system is already
+// fielding feedback/cycle-limit pressure, not wedged.
+func (m *polledPath) watchdog() {
+	if m.clocked || m.poller.Scheduled() || !m.gate.Open() {
 		return
 	}
-	period := uint64(m.limiter.Period / m.r.Cfg.ClockTick)
-	if period == 0 {
-		period = 1
+	for _, in := range m.r.Ins {
+		if in.RxLen() > 0 && !in.RxPending() && in.RxInterruptEnabled() {
+			in.RxIntrDone()
+			return
+		}
 	}
-	if ticks%period == 0 {
-		m.limiter.Tick()
+	for _, port := range m.r.ports {
+		if !port.outq.Empty() && port.nic.TxCompletedLen() == m.r.Cfg.NIC.TxRing {
+			m.poller.Schedule()
+			return
+		}
 	}
 }
 

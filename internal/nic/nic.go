@@ -300,6 +300,13 @@ func (n *NIC) maybeRaiseTx() {
 // TxCompletedLen returns how many transmit descriptors await reclaim.
 func (n *NIC) TxCompletedLen() int { return n.txCompleted }
 
+// TxQueuedLen returns how many frames occupy descriptors awaiting their
+// turn on the wire.
+func (n *NIC) TxQueuedLen() int { return len(n.txQueue) }
+
+// TxInFlight returns how many frames are currently being transmitted.
+func (n *NIC) TxInFlight() int { return n.txInFlight }
+
 // ReclaimTx frees one completed transmit descriptor, reporting false if
 // none awaits reclaim. The frame itself was consumed by the wire when
 // transmission finished.

@@ -67,11 +67,32 @@ func New(name string, limit int, clock func() sim.Time) *Queue {
 
 // SetWatermarks configures hysteresis thresholds. high must be > low and
 // <= capacity; low may be 0.
+//
+// If the queue is live, the hysteresis regime is reconciled with the
+// current occupancy under the new thresholds: occupancy at or above the
+// new high enters the high regime (firing OnHigh), occupancy at or
+// below the new low leaves it (firing OnLow). Without this a stale
+// regime flag would swallow the next genuine crossing — e.g. a queue
+// already past the new high would never fire OnHigh, leaving feedback
+// listeners convinced the queue is uncongested. Occupancy inside the
+// new hysteresis band keeps the current regime, exactly as an
+// enqueue/dequeue path through the band would.
 func (q *Queue) SetWatermarks(high, low int) {
 	if high <= low || high > q.limit || low < 0 {
 		panic("queue: invalid watermarks")
 	}
 	q.highMark, q.lowMark = high, low
+	if !q.high && q.count >= high {
+		q.high = true
+		if q.OnHigh != nil {
+			q.OnHigh()
+		}
+	} else if q.high && q.count <= low {
+		q.high = false
+		if q.OnLow != nil {
+			q.OnLow()
+		}
+	}
 }
 
 // Name returns the queue's name.
@@ -139,6 +160,15 @@ func (q *Queue) Dequeue() *netstack.Packet {
 // AboveHigh reports whether the queue is in the above-high-watermark
 // regime (i.e. OnHigh has fired and OnLow has not yet).
 func (q *Queue) AboveHigh() bool { return q.high }
+
+// Each calls fn for every queued packet in FIFO order, without removing
+// any. Exploration harnesses use this to fingerprint queue contents; fn
+// must not mutate the queue.
+func (q *Queue) Each(fn func(*netstack.Packet)) {
+	for i := 0; i < q.count; i++ {
+		fn(q.buf[(q.head+i)%q.limit])
+	}
+}
 
 // RegisterMetrics registers the queue's instruments under its name: a
 // point-in-time depth gauge plus the drop and enqueue counters. The

@@ -128,6 +128,91 @@ func TestQueueWatermarkNoRefireWithinRegime(t *testing.T) {
 	}
 }
 
+// TestQueueSetWatermarksReconcilesHysteresis: reconfiguring watermarks
+// on a live queue must reconcile the hysteresis regime with the current
+// occupancy. Before the fix, a queue already at/past the new high kept
+// q.high == false, so the high crossing that had *already happened* was
+// never signalled — and the eventual drain to the low mark fired
+// nothing either, leaving feedback listeners out of sync for good.
+func TestQueueSetWatermarksReconcilesHysteresis(t *testing.T) {
+	var now sim.Time
+
+	// Case 1: occupancy already past the new high → OnHigh fires once
+	// at reconfiguration, and the subsequent drain fires OnLow once.
+	q := New("q", 16, clockAt(&now))
+	highs, lows := 0, 0
+	q.OnHigh = func() { highs++ }
+	q.OnLow = func() { lows++ }
+	for i := 0; i < 10; i++ {
+		q.Enqueue(pkt(uint64(i)))
+	}
+	q.SetWatermarks(6, 2)
+	if highs != 1 {
+		t.Fatalf("OnHigh fired %d times on reconfigure past high, want 1", highs)
+	}
+	if !q.AboveHigh() {
+		t.Fatal("queue not in high regime after reconfigure past high")
+	}
+	for q.Len() > 2 {
+		q.Dequeue()
+	}
+	if lows != 1 {
+		t.Fatalf("OnLow fired %d times draining to low, want 1", lows)
+	}
+	// Refill: the crossing must re-arm normally.
+	for q.Len() < 6 {
+		q.Enqueue(pkt(0))
+	}
+	if highs != 2 {
+		t.Fatalf("OnHigh fired %d times after refill, want 2", highs)
+	}
+
+	// Case 2: in the high regime, new watermarks placed above the
+	// occupancy → OnLow fires once at reconfiguration (the queue is at
+	// or below the new low), and the next high crossing is not
+	// swallowed.
+	q2 := New("q2", 16, clockAt(&now))
+	highs2, lows2 := 0, 0
+	q2.OnHigh = func() { highs2++ }
+	q2.OnLow = func() { lows2++ }
+	q2.SetWatermarks(3, 1)
+	for i := 0; i < 3; i++ {
+		q2.Enqueue(pkt(uint64(i)))
+	}
+	if highs2 != 1 || !q2.AboveHigh() {
+		t.Fatalf("setup: highs=%d AboveHigh=%v", highs2, q2.AboveHigh())
+	}
+	q2.Dequeue() // occupancy 2, still in high regime (low mark is 1)
+	q2.SetWatermarks(8, 4)
+	if lows2 != 1 {
+		t.Fatalf("OnLow fired %d times on reconfigure above occupancy, want 1", lows2)
+	}
+	if q2.AboveHigh() {
+		t.Fatal("queue still in high regime after reconfigure above occupancy")
+	}
+	for q2.Len() < 8 {
+		q2.Enqueue(pkt(0))
+	}
+	if highs2 != 2 {
+		t.Fatalf("OnHigh fired %d times reaching the new high, want 2 (crossing swallowed)", highs2)
+	}
+
+	// Case 3: occupancy inside the new hysteresis band keeps the
+	// current regime and fires nothing.
+	q3 := New("q3", 16, clockAt(&now))
+	highs3, lows3 := 0, 0
+	q3.OnHigh = func() { highs3++ }
+	q3.OnLow = func() { lows3++ }
+	for i := 0; i < 5; i++ {
+		q3.Enqueue(pkt(uint64(i)))
+	}
+	q3.SetWatermarks(8, 2) // occupancy 5 sits inside (2, 8)
+	if highs3 != 0 || lows3 != 0 || q3.AboveHigh() {
+		t.Fatalf("in-band reconfigure fired callbacks: highs=%d lows=%d AboveHigh=%v",
+			highs3, lows3, q3.AboveHigh())
+	}
+}
+
 func TestQueueInvalidConfig(t *testing.T) {
 	var now sim.Time
 	for _, f := range []func(){

@@ -47,9 +47,8 @@ type RED struct {
 	rng *sim.RNG
 
 	avg       float64
-	count     int // packets since the last early drop
-	emptyAt   sim.Time
-	wasEmpty  bool
+	count     int      // packets since the last early drop
+	emptyAt   sim.Time // start of the current idle period (valid while empty)
 	clockFunc func() sim.Time
 
 	// EarlyDrops counts probabilistic (pre-full) drops; forced tail
@@ -67,7 +66,7 @@ func NewRED(name string, limit int, clock func() sim.Time, rng *sim.RNG, p REDPa
 		Queue:      New(name, limit, clock),
 		p:          p,
 		rng:        rng,
-		wasEmpty:   true,
+		emptyAt:    clock(),
 		clockFunc:  clock,
 		EarlyDrops: stats.NewCounter(name + ".earlydrops"),
 	}
@@ -105,34 +104,49 @@ func (r *RED) Enqueue(pkt *netstack.Packet) bool {
 			return false
 		}
 	}
-	ok := r.Queue.Enqueue(pkt)
-	if ok {
-		r.wasEmpty = false
-	}
-	return ok
+	return r.Queue.Enqueue(pkt)
 }
 
 // Dequeue removes the oldest packet, tracking idle-start for average
 // aging.
 func (r *RED) Dequeue() *netstack.Packet {
 	pkt := r.Queue.Dequeue()
-	if r.Queue.Empty() && !r.wasEmpty {
-		r.wasEmpty = true
+	if pkt != nil && r.Queue.Empty() {
 		r.emptyAt = r.clockFunc()
 	}
 	return pkt
 }
 
-// updateAvg advances the EWMA, aging it across idle time as if m small
-// packets had been transmitted (Floyd & Jacobson §4).
+// Flush discards all queued packets (see Queue.Flush) and starts an
+// idle period, so the average left over from before the flush decays
+// across the following gap instead of freezing at its last value.
+func (r *RED) Flush() int {
+	n := r.Queue.Flush()
+	if n > 0 {
+		r.emptyAt = r.clockFunc()
+	}
+	return n
+}
+
+// updateAvg advances the EWMA at an arrival, per Floyd & Jacobson §4:
+// if the queue is non-empty the average takes one sample step toward
+// the instantaneous length; if the queue is empty the idle period is
+// aged as if m = idle/MeanPktTime small packets had been transmitted —
+// decay only, with no sample step, because a zero instantaneous length
+// during idle says the link went quiet, not that congestion cleared by
+// exactly one more EWMA step. (The pre-fix code applied the sample
+// step unconditionally, over-decaying after every idle gap and — worse
+// — never decaying at all after a Flush, whose stale idle-start flag
+// froze the average at its last-enqueue value.)
 func (r *RED) updateAvg() {
-	if r.wasEmpty && r.Queue.Empty() {
+	if r.Queue.Empty() {
 		idle := r.clockFunc().Sub(r.emptyAt)
 		if r.p.MeanPktTime > 0 && idle > 0 {
 			m := float64(idle) / float64(r.p.MeanPktTime)
 			r.avg *= math.Pow(1-r.p.Wq, m)
 		}
 		r.emptyAt = r.clockFunc()
+		return
 	}
 	r.avg = (1-r.p.Wq)*r.avg + r.p.Wq*float64(r.Queue.Len())
 }

@@ -96,6 +96,76 @@ func TestREDIdleAgingDecaysAverage(t *testing.T) {
 	}
 }
 
+// TestREDIdleDecayMatchesFloydJacobson pins the idle-aging formula
+// exactly: an arrival to an empty queue after idle time i must scale
+// avg by (1-Wq)^(i/MeanPktTime) and apply *no* sample step — the old
+// code tacked an unconditional EWMA step toward zero on top, so the
+// average after idle was (1-Wq)^(m+1)·avg instead of (1-Wq)^m·avg.
+func TestREDIdleDecayMatchesFloydJacobson(t *testing.T) {
+	p := REDParams{MinTh: 2, MaxTh: 8, MaxP: 0.5, Wq: 0.25, MeanPktTime: 100 * sim.Microsecond}
+	q, now := newRED(32, p)
+	for i := 0; i < 8; i++ {
+		q.Enqueue(&netstack.Packet{ID: uint64(i)})
+	}
+	for q.Dequeue() != nil {
+	}
+	avg0 := q.Avg()
+	if avg0 <= 0 {
+		t.Fatalf("setup: avg = %v, want > 0", avg0)
+	}
+	// Idle exactly 4 mean packet times, then one arrival: the admission
+	// test must see avg0·(1-Wq)^4, nothing more.
+	*now += sim.Time(4 * 100 * sim.Microsecond)
+	q.Enqueue(&netstack.Packet{ID: 99})
+	want := avg0 * 0.75 * 0.75 * 0.75 * 0.75
+	if got := q.Avg(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("avg after 4 idle packet-times = %v, want %v (= avg0·(1-Wq)^4)", got, want)
+	}
+}
+
+// TestREDFlushStartsIdlePeriod: a Flush must begin an idle period, so
+// the average decays across the following gap. Before the fix the
+// flush left the idle-start flag stale and the average froze at its
+// last-enqueue value indefinitely.
+func TestREDFlushStartsIdlePeriod(t *testing.T) {
+	p := REDParams{MinTh: 2, MaxTh: 8, MaxP: 0.5, Wq: 0.5, MeanPktTime: 100 * sim.Microsecond}
+	q, now := newRED(32, p)
+	for i := 0; i < 8; i++ {
+		q.Enqueue(&netstack.Packet{ID: uint64(i)})
+	}
+	highAvg := q.Avg()
+	if n := q.Flush(); n == 0 {
+		t.Fatal("Flush discarded nothing")
+	}
+	*now += sim.Time(100 * sim.Millisecond)
+	q.Enqueue(&netstack.Packet{ID: 99})
+	if q.Avg() >= highAvg/2 {
+		t.Fatalf("avg %.3f frozen at pre-flush value %.3f across idle period", q.Avg(), highAvg)
+	}
+}
+
+// TestREDNonEmptySampleStepUnchanged: arrivals to a non-empty queue
+// take exactly one EWMA sample step toward the instantaneous length.
+func TestREDNonEmptySampleStepUnchanged(t *testing.T) {
+	p := REDParams{MinTh: 20, MaxTh: 30, MaxP: 0.5, Wq: 0.25, MeanPktTime: 100 * sim.Microsecond}
+	q, now := newRED(64, p)
+	q.Enqueue(&netstack.Packet{ID: 0}) // empty-queue arrival: avg stays 0
+	if q.Avg() != 0 {
+		t.Fatalf("avg after first arrival = %v, want 0 (decay-only on empty)", q.Avg())
+	}
+	*now += sim.Time(10 * sim.Microsecond)
+	q.Enqueue(&netstack.Packet{ID: 1}) // len 1 at arrival: avg = 0.75·0 + 0.25·1
+	if got := q.Avg(); got < 0.2499 || got > 0.2501 {
+		t.Fatalf("avg after second arrival = %v, want 0.25", got)
+	}
+	*now += sim.Time(10 * sim.Microsecond)
+	q.Enqueue(&netstack.Packet{ID: 2}) // len 2 at arrival: avg = 0.75·0.25 + 0.25·2
+	want := 0.75*0.25 + 0.25*2
+	if got := q.Avg(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("avg after third arrival = %v, want %v", got, want)
+	}
+}
+
 func TestREDInvalidParamsPanic(t *testing.T) {
 	bad := []REDParams{
 		{MinTh: 5, MaxTh: 5, MaxP: 0.1, Wq: 0.1},

@@ -208,10 +208,16 @@ func randDelay(rng *rand.Rand) Duration {
 
 // childSpec decides — purely from the parent id — whether a firing
 // event schedules a follow-up, so both engines make identical choices
-// without sharing state.
+// without sharing state. Every other spawning parent schedules its
+// child at the *current* instant (delay 0): the child ties with events
+// already due now and must fire in identical (when, seq) order on both
+// engines, including when the parent itself was reached through a tie.
 func childSpec(id int) (child int, delay Duration, ok bool) {
 	if id%3 != 0 {
 		return 0, 0, false
+	}
+	if id%6 == 0 {
+		return id + 1_000_000, 0, true
 	}
 	return id + 1_000_000, Duration((id*37)%97 + 1), true
 }
@@ -306,6 +312,61 @@ func TestEngineDifferential(t *testing.T) {
 					seed, i, gotMarks[i], wantMarks[i])
 			}
 		}
+	}
+}
+
+// TestEngineDifferentialSameInstantResched pins the same-instant
+// rescheduling corner explicitly: events rescheduled (and children
+// spawned) at the current timestamp must interleave with already-due
+// events in identical FIFO order on both engines, including ties that
+// involve a cancelled member and a cancel-then-reschedule at the same
+// instant.
+func TestEngineDifferentialSameInstantResched(t *testing.T) {
+	// ids divisible by 6 spawn a child at delay 0 (see childSpec), so
+	// this script stacks several same-instant spawners, tied siblings,
+	// and a same-instant resched between advances.
+	script := []op{
+		{kind: opSchedule, id: 0, delay: 0},            // spawns child at current instant
+		{kind: opSchedule, id: 6, delay: 0},            // spawns child at current instant
+		{kind: opSchedule, id: 1, delay: 0},            // plain tied sibling
+		{kind: opCancel, target: 1},                    // cancel a tie member before it fires
+		{kind: opResched, target: 6, id: 12, delay: 0}, // resched within the tie
+		{kind: opAdvance, delay: 0},                    // run the whole tie at t=0
+		{kind: opSchedule, id: 18, delay: 5},           // spawner reached at a later instant
+		{kind: opSchedule, id: 2, delay: 5},            // tied with 18 at t=5
+		{kind: opAdvance, delay: 10},
+	}
+	gotOrder, gotMarks := runNew(script)
+	wantOrder, wantMarks := runRef(script)
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("fired %d events, reference fired %d: %v vs %v",
+			len(gotOrder), len(wantOrder), gotOrder, wantOrder)
+	}
+	for i := range gotOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("firing order diverges at position %d: got %v, reference %v",
+				i, gotOrder, wantOrder)
+		}
+	}
+	for i := range gotMarks {
+		if gotMarks[i] != wantMarks[i] {
+			t.Fatalf("(fired, pending) at mark %d = %v, reference %v",
+				i, gotMarks[i], wantMarks[i])
+		}
+	}
+	// The same-instant spawners must actually have spawned: ids 0 and 12
+	// put children 1000000 and 1000012 into the t=0 tie.
+	seen := map[int]bool{}
+	for _, id := range gotOrder {
+		seen[id] = true
+	}
+	for _, id := range []int{0, 12, 1_000_000, 1_000_012} {
+		if !seen[id] {
+			t.Fatalf("expected id %d to fire (order %v)", id, gotOrder)
+		}
+	}
+	if seen[1] || seen[6] {
+		t.Fatalf("cancelled ids fired (order %v)", gotOrder)
 	}
 }
 

@@ -65,6 +65,28 @@ func nodeBefore(a, b heapNode) bool {
 	return a.seq < b.seq
 }
 
+// Tie describes one of several pending events due at the same instant,
+// offered to an installed TieBreaker. Rank within the tie set follows
+// scheduling order: ties[0] is the event FIFO would fire.
+type Tie struct {
+	// Seq is the event's scheduling sequence number (FIFO order).
+	Seq uint64
+	// Fn is the event's callback; exploration harnesses resolve it to a
+	// stable function name for labelling schedule choices.
+	Fn Callback
+	// Arg is the event's first operand (typically the receiver), used to
+	// distinguish instances sharing a callback function.
+	Arg any
+}
+
+// TieBreaker chooses which of the tied same-instant events fires next,
+// returning an index into ties. Returning 0 reproduces the engine's
+// default FIFO order. The ties slice is reused between calls and must
+// not be retained. Installed only by schedule-exploration harnesses;
+// normal runs leave it nil and pay nothing beyond one nil check per
+// fired event.
+type TieBreaker func(now Time, ties []Tie) int
+
 // Engine is a discrete-event simulator. It is not safe for concurrent
 // use; a simulation is a single-threaded, deterministic computation.
 //
@@ -86,6 +108,10 @@ type Engine struct {
 	live    int    // queued events that have not been cancelled
 	dead    int    // cancelled events still occupying heap nodes
 	free    *Event // recycled Events ready for reuse
+
+	tie     TieBreaker
+	tieBuf  []heapNode // scratch: popped tied nodes, in (when, seq) order
+	tieList []Tie      // scratch: the view handed to the TieBreaker
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -95,6 +121,10 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTieBreaker installs tb as the same-instant tie-break hook; nil
+// restores default FIFO order. See TieBreaker.
+func (e *Engine) SetTieBreaker(tb TieBreaker) { e.tie = tb }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -201,6 +231,47 @@ func (e *Engine) collectRoot() {
 	e.recycle(n.ev)
 }
 
+// breakTie gathers every pending event tied at first's instant and lets
+// the installed TieBreaker choose which fires; the others are pushed
+// back with their original (when, seq) keys, so their relative FIFO
+// order is preserved for the next tie decision. Cancelled nodes
+// surfacing inside the tie set are collected, never offered.
+func (e *Engine) breakTie(first heapNode) heapNode {
+	when := first.when
+	e.tieBuf = append(e.tieBuf[:0], first)
+	for len(e.heap) > 0 && e.heap[0].when == when {
+		if !e.heap[0].ev.pending {
+			e.collectRoot()
+			continue
+		}
+		e.tieBuf = append(e.tieBuf, e.heapPop())
+	}
+	chosen := first
+	if len(e.tieBuf) > 1 {
+		e.tieList = e.tieList[:0]
+		for _, n := range e.tieBuf {
+			e.tieList = append(e.tieList, Tie{Seq: n.seq, Fn: n.ev.fn, Arg: n.ev.a})
+		}
+		pick := e.tie(when, e.tieList)
+		if pick < 0 || pick >= len(e.tieBuf) {
+			panic(fmt.Sprintf("sim: tie-breaker chose %d of %d tied events", pick, len(e.tieBuf)))
+		}
+		chosen = e.tieBuf[pick]
+		for i, n := range e.tieBuf {
+			if i != pick {
+				e.heapPush(n)
+			}
+		}
+		for i := range e.tieList {
+			e.tieList[i] = Tie{}
+		}
+	}
+	for i := range e.tieBuf {
+		e.tieBuf[i] = heapNode{}
+	}
+	return chosen
+}
+
 // Step fires the next pending event. It reports false if no events
 // remain.
 func (e *Engine) Step() bool {
@@ -210,6 +281,9 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		n := e.heapPop()
+		if e.tie != nil {
+			n = e.breakTie(n)
+		}
 		e.now = n.when
 		e.fire(n.ev)
 		return true
@@ -237,6 +311,9 @@ func (e *Engine) Run(until Time) uint64 {
 			break
 		}
 		n := e.heapPop()
+		if e.tie != nil {
+			n = e.breakTie(n)
+		}
 		e.now = n.when
 		e.fire(n.ev)
 	}
@@ -255,6 +332,20 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending returns the number of queued events, excluding cancelled ones
 // whose heap nodes have not been collected yet.
 func (e *Engine) Pending() int { return e.live }
+
+// VisitPending calls visit for every pending (not fired, not cancelled)
+// event, in unspecified order. Exploration harnesses use this to
+// fingerprint the scheduler's forward-relevant state; callers needing a
+// canonical order must sort what they collect. visit must not schedule
+// or cancel events.
+func (e *Engine) VisitPending(visit func(when Time, fn Callback, a, b any)) {
+	for i := range e.heap {
+		ev := e.heap[i].ev
+		if ev.pending {
+			visit(ev.when, ev.fn, ev.a, ev.b)
+		}
+	}
+}
 
 // --- 4-ary heap keyed by (when, seq) ---
 //
