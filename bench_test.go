@@ -24,6 +24,7 @@ import (
 	"livelock/internal/kernel"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/prof"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -484,12 +485,32 @@ func BenchmarkRoutingLookup(b *testing.B) {
 }
 
 // BenchmarkSimulatedSecond measures how fast the full router simulation
-// runs relative to real time at the paper's peak load.
+// runs relative to real time at the paper's peak load. The
+// cycle-attribution profiler is NOT attached: this is the
+// profiler-disabled configuration the 2% lkbench overhead band gates
+// (see cmd/lkbench defaultTight).
 func BenchmarkSimulatedSecond(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
 		r := kernel.NewRouter(eng, kernel.Config{Mode: kernel.ModePolled, Quota: 5})
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 5000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+	}
+}
+
+// BenchmarkSimulatedSecondProfiled is the same simulated second with the
+// cycle-attribution profiler attached: the delta against
+// BenchmarkSimulatedSecond is the profiler's enabled cost, and the
+// steady-state allocation count must match the unprofiled run (the
+// profiler preallocates; Attach/Invest/Drop/Deliver are free-list only).
+func BenchmarkSimulatedSecondProfiled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cfg := kernel.Config{Mode: kernel.ModePolled, Quota: 5, Profile: prof.New()}
+		r := kernel.NewRouter(eng, cfg)
 		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 5000, JitterFrac: 0.05}, 0)
 		gen.Start()
 		eng.Run(sim.Time(sim.Second))

@@ -50,7 +50,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"Slow":  {NsPerOp: 125, AllocsPerOp: 0}, // 20% throughput drop: fails
 		"Leaky": {NsPerOp: 90, AllocsPerOp: 2},  // faster but allocates: fails
 	}
-	err := compare(base, got, 0.10)
+	err := compare(base, got, 0.10, nil)
 	if err == nil {
 		t.Fatal("compare passed; want regression failure")
 	}
@@ -72,7 +72,47 @@ func TestComparePassesWithinTolerance(t *testing.T) {
 		"A":   {NsPerOp: 108, AllocsPerOp: 1},
 		"New": {NsPerOp: 50, AllocsPerOp: 0}, // unknown benchmarks don't fail the gate
 	}
-	if err := compare(base, got, 0.10); err != nil {
+	if err := compare(base, got, 0.10, nil); err != nil {
 		t.Fatalf("compare failed: %v", err)
+	}
+}
+
+func TestCompareTightOverride(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"SimulatedSecond": {NsPerOp: 100, AllocsPerOp: 1},
+		"Micro":           {NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	got := map[string]Result{
+		"SimulatedSecond": {NsPerOp: 105, AllocsPerOp: 1}, // 4.8% drop: fine globally, over the 2% override
+		"Micro":           {NsPerOp: 105, AllocsPerOp: 0}, // same drop, no override: passes
+	}
+	overrides, err := parseTight(defaultTight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = compare(base, got, 0.10, overrides)
+	if err == nil {
+		t.Fatal("compare passed; want SimulatedSecond to fail its 2% band")
+	}
+	if !strings.Contains(err.Error(), "SimulatedSecond") {
+		t.Errorf("error does not mention SimulatedSecond: %v", err)
+	}
+	if strings.Contains(err.Error(), "Micro") {
+		t.Errorf("error flags Micro, which is within the global tolerance: %v", err)
+	}
+}
+
+func TestParseTightRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"NoEquals", "X=1.5", "X=0", "X=abc"} {
+		if _, err := parseTight(bad); err == nil {
+			t.Errorf("parseTight(%q) accepted invalid input", bad)
+		}
+	}
+	m, err := parseTight("A=0.02,B=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["A"] != 0.02 || m["B"] != 0.5 {
+		t.Errorf("parseTight = %v", m)
 	}
 }

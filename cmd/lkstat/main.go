@@ -72,6 +72,8 @@ func run(args []string, w io.Writer) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	columns := fs.String("columns", "", "comma-separated column subset for -format table")
 	traceCap := fs.Int("trace", 4096, "packet-lifecycle ring size for -format perfetto; 0 = off")
+	profile := fs.Bool("profile", false, "attach the cycle-attribution profiler (prof.* columns, diagnosis events)")
+	folded := fs.String("folded", "", "write folded cycle-attribution stacks (flamegraph input) to this file; implies -profile")
 	validate := fs.String("validate", "", "validate a previously written JSON/Perfetto file and exit")
 	faultDrop := fs.Float64("fault-drop", 0, "wire fault: per-frame drop probability")
 	faultTruncate := fs.Float64("fault-truncate", 0, "wire fault: per-frame truncation probability")
@@ -141,7 +143,14 @@ func run(args []string, w io.Writer) error {
 		opts.Spans = true
 		opts.TraceCap = *traceCap
 	}
+	opts.Profile = *profile || *folded != ""
 	res := livelock.RunTimeline(cfg, *rate, opts)
+
+	if *folded != "" {
+		if err := os.WriteFile(*folded, []byte(res.Folded), 0o644); err != nil {
+			return err
+		}
+	}
 
 	dst := w
 	if *out != "" {
@@ -171,6 +180,9 @@ func run(args []string, w io.Writer) error {
 			Series: res.Series,
 			Spans:  res.Spans,
 			Events: res.Trace,
+		}
+		if res.Profile != nil {
+			p.Diagnoses = res.Profile.Diagnoses()
 		}
 		_, err := p.WriteTo(dst)
 		return err

@@ -20,6 +20,7 @@ import (
 
 	"livelock"
 	"livelock/internal/kernel"
+	"livelock/internal/prof"
 	"livelock/internal/sim"
 	"livelock/internal/trace"
 	"livelock/internal/workload"
@@ -43,6 +44,7 @@ func run(args []string, w io.Writer) error {
 	runFor := fs.Duration("for", 20*time.Millisecond, "simulated run length")
 	pkt := fs.Uint64("pkt", 0, "dump only this packet id (0 = all)")
 	keep := fs.Int("keep", 4096, "trace ring capacity (most recent events)")
+	profile := fs.Bool("profile", false, "append the cycle-attribution report: per-stage dwell, drop provenance, wasted-work fraction, livelock diagnoses")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +55,9 @@ func run(args []string, w io.Writer) error {
 		Screend:  *screend,
 		Feedback: *feedback,
 		Trace:    tr,
+	}
+	if *profile {
+		cfg.Profile = prof.New()
 	}
 	switch *mode {
 	case "unmodified":
@@ -75,12 +80,40 @@ func run(args []string, w io.Writer) error {
 		for _, rec := range tr.Filter(*pkt) {
 			fmt.Fprintln(w, rec)
 		}
-		return nil
+		return profileReport(w, cfg.Profile)
 	}
 	if _, err := tr.WriteTo(w); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\n%d events total (%d retained); delivered=%d\n",
 		tr.Total(), len(tr.Records()), r.Delivered())
+	return profileReport(w, cfg.Profile)
+}
+
+// profileReport appends the cycle-attribution view of the run: where
+// the dropped packets died and how much work they had already consumed,
+// how long packets dwell in each stage, the headline wasted-work
+// fraction, and any livelock diagnoses the online detector emitted.
+func profileReport(w io.Writer, p *prof.Profile) error {
+	if p == nil {
+		return nil
+	}
+	useful, wasted := p.UsefulCycles(), p.WastedCycles()
+	fmt.Fprintf(w, "\ncycle attribution: useful=%v wasted=%v wasted-frac=%.3f\n",
+		useful, wasted, p.WastedFrac())
+	fmt.Fprintf(w, "\ndrop provenance:\n")
+	if err := p.WriteDropTable(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nper-stage dwell times:\n")
+	if err := p.WriteDwell(w); err != nil {
+		return err
+	}
+	if p.DiagnosisTotal() > 0 {
+		fmt.Fprintf(w, "\nlivelock diagnoses:\n")
+		if err := p.WriteDiagnoses(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

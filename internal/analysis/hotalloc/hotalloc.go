@@ -29,13 +29,16 @@ const simPath = "livelock/internal/sim"
 
 // DefaultFmtPackages lists the import paths whose per-operation hot paths
 // are protected by AllocsPerRun gates and where fmt is therefore banned
-// outside Stringer implementations and panic messages. metrics is gated
-// too, but only its sampler tick; its exporters format output by design,
-// so it is deliberately absent here.
+// outside Stringer implementations, panic messages and io.Writer-taking
+// exporters. metrics is gated too, but only its sampler tick; its
+// exporters take concrete writer types rather than io.Writer, so it is
+// deliberately absent here.
 var DefaultFmtPackages = map[string]bool{
 	"livelock/internal/sim":      true,
 	"livelock/internal/queue":    true,
 	"livelock/internal/netstack": true,
+	"livelock/internal/trace":    true,
+	"livelock/internal/prof":     true,
 }
 
 // Analyzer is the hotalloc pass with the default configuration.
@@ -170,9 +173,28 @@ func checkFmt(pass *analysis.Pass) {
 					continue
 				}
 			}
+			// A function that takes an io.Writer is an exporter: it
+			// formats output by contract and never runs per packet or
+			// per event.
+			if takesWriter(pass, fd) {
+				continue
+			}
 			checkFmtIn(pass, fd.Body)
 		}
 	}
+}
+
+// takesWriter reports whether any parameter of fd is an io.Writer.
+func takesWriter(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && t.String() == "io.Writer" {
+			return true
+		}
+	}
+	return false
 }
 
 func checkFmtIn(pass *analysis.Pass, body ast.Node) {

@@ -3,6 +3,7 @@ package a
 
 import (
 	"fmt"
+	"io"
 
 	"livelock/internal/sim"
 )
@@ -47,4 +48,9 @@ func check(ok bool) {
 	if !ok {
 		panic(fmt.Sprintf("invariant violated"))
 	}
+}
+
+// Exporters take an io.Writer and format output by contract.
+func (n *node) WriteTo(w io.Writer) {
+	fmt.Fprintf(w, "node %d\n", n.n)
 }

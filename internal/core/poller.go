@@ -16,6 +16,7 @@ package core
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
 )
@@ -105,6 +106,10 @@ func NewPoller(eng *sim.Engine, c *cpu.CPU, prio int, cfg PollerConfig) *Poller 
 		TxSteps: stats.NewCounter("poller.tx"),
 	}
 	p.task = c.NewTask("poller", cpu.IPLThread, prio, cpu.ClassKernel)
+	// The thread's own machinery (wakeups, round sweeps) is polling
+	// overhead; the packet work its callbacks do is re-attributed per
+	// step below.
+	p.task.SetCenter(prov.CenterPollOverhead)
 	return p
 }
 
@@ -198,7 +203,14 @@ func (p *Poller) step() {
 				p.roundWork++
 				p.usedQuota++
 				counter.Inc()
-				p.task.Post(cost, func() {
+				// Packet work is charged to the direction's cost center,
+				// not to poll overhead: receive callbacks do IP input
+				// work, transmit callbacks do output-side reclaim.
+				center := prov.CenterIPInput
+				if p.doingTx {
+					center = prov.CenterOutput
+				}
+				p.task.PostCenter(cost, center, func() {
 					if commit != nil {
 						commit()
 					}

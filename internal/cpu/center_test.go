@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"testing"
+
+	"livelock/internal/prov"
+	"livelock/internal/sim"
+)
+
+// Per-center accounting must agree with busy time under completion,
+// per-item override, and mid-item preemption.
+func TestCenterAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	low := c.NewTask("low", IPLThread, 0, ClassKernel)
+	low.SetCenter(prov.CenterIPInput)
+	hi := c.NewTask("hi", IPLDevice, 0, ClassIntr)
+	hi.SetCenter(prov.CenterRxIntr)
+
+	// low runs 100ns, preempted at t=40 by hi for 30ns, then resumes.
+	low.Post(100, nil)
+	eng.AtCall(40, func(a, _ any) {
+		a.(*Task).PostCenter(30, prov.CenterTxIntr, nil)
+	}, hi, nil)
+	eng.Run(1000)
+
+	if got := c.CenterTime(prov.CenterIPInput); got != 100 {
+		t.Fatalf("ip-input center time = %v, want 100", got)
+	}
+	if got := c.CenterTime(prov.CenterTxIntr); got != 30 {
+		t.Fatalf("tx-intr center time = %v, want 30 (PostCenter override)", got)
+	}
+	if got := c.CenterTime(prov.CenterRxIntr); got != 0 {
+		t.Fatalf("rx-intr center time = %v, want 0 (task default overridden)", got)
+	}
+	if err := c.AuditCycles(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Untagged tasks land in CenterUnattributed, and the audit still
+// balances — legacy harness code needs no changes to stay conservative.
+func TestCenterDefaultsUnattributed(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	task := c.NewTask("plain", IPLThread, 0, ClassKernel)
+	task.Post(70, nil)
+	eng.Run(500)
+
+	if got := c.CenterTime(prov.CenterUnattributed); got != 70 {
+		t.Fatalf("unattributed center time = %v, want 70", got)
+	}
+	if err := c.AuditCycles(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The audit must hold at an arbitrary instant, including mid-item with
+// a partially consumed cost.
+func TestAuditCyclesMidItem(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng)
+	task := c.NewTask("t", IPLThread, 0, ClassKernel)
+	task.SetCenter(prov.CenterScreend)
+	var audited bool
+	eng.AtCall(0, func(_, _ any) { task.Post(100, nil) }, nil, nil)
+	eng.AtCall(60, func(_, _ any) {
+		if err := c.AuditCycles(eng.Now()); err != nil {
+			t.Error(err)
+		}
+		if got := c.CenterTime(prov.CenterScreend); got != 60 {
+			t.Errorf("mid-item center time = %v, want 60", got)
+		}
+		audited = true
+	}, nil, nil)
+	eng.Run(500)
+	if !audited {
+		t.Fatal("mid-item audit never ran")
+	}
+	if err := c.AuditCycles(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+}

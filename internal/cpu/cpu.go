@@ -21,6 +21,7 @@ package cpu
 import (
 	"fmt"
 
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
@@ -89,8 +90,9 @@ func (c Class) String() string {
 }
 
 type workItem struct {
-	cost sim.Duration // remaining cost
-	fn   func()
+	cost   sim.Duration // remaining cost
+	center prov.Center  // cost center the item's cycles are charged to
+	fn     func()
 }
 
 // Task is a schedulable entity: an interrupt handler, a software
@@ -98,10 +100,11 @@ type workItem struct {
 // work items is blocked (or, for a handler, not asserted); posting work
 // makes it runnable.
 type Task struct {
-	name  string
-	ipl   IPL
-	prio  int
-	class Class
+	name   string
+	ipl    IPL
+	prio   int
+	class  Class
+	center prov.Center
 
 	items    []workItem
 	head     int
@@ -121,6 +124,20 @@ func (t *Task) IPL() IPL { return t.ipl }
 // Class returns the task's accounting class.
 func (t *Task) Class() Class { return t.class }
 
+// SetCenter declares the cost center work posted via Post is charged
+// to (PostCenter overrides it per item). Tasks default to
+// prov.CenterUnattributed, which the cycle-conservation ledger still
+// covers — untagged work is visible, not lost.
+func (t *Task) SetCenter(c prov.Center) {
+	if c >= prov.NumCenters {
+		panic("cpu: invalid cost center")
+	}
+	t.center = c
+}
+
+// Center returns the task's default cost center.
+func (t *Task) Center() prov.Center { return t.center }
+
 // Pending returns the number of queued work items (including the one
 // currently executing, if any).
 func (t *Task) Pending() int { return len(t.items) - t.head }
@@ -139,12 +156,24 @@ func (t *Task) Consumed() sim.Duration {
 
 // Post queues a work item: cost is charged to the CPU first, then fn runs
 // atomically. fn may be nil. Posting to a higher-priority task than the
-// one running preempts immediately. Negative cost panics.
+// one running preempts immediately. Negative cost panics. The item's
+// cycles are charged to the task's default cost center.
 func (t *Task) Post(cost sim.Duration, fn func()) {
+	t.PostCenter(cost, t.center, fn)
+}
+
+// PostCenter is Post with an explicit cost center, for tasks whose
+// items do different kinds of work (the polling thread charges receive
+// callbacks to ip-input and reclaim callbacks to output, while its
+// wakeups and sweeps stay poll-overhead).
+func (t *Task) PostCenter(cost sim.Duration, center prov.Center, fn func()) {
 	if cost < 0 {
 		panic("cpu: negative work cost")
 	}
-	t.items = append(t.items, workItem{cost: cost, fn: fn})
+	if center >= prov.NumCenters {
+		panic("cpu: invalid cost center")
+	}
+	t.items = append(t.items, workItem{cost: cost, center: center, fn: fn})
 	c := t.cpu
 	if !t.ready && t != c.cur {
 		c.markReady(t)
@@ -184,6 +213,7 @@ type CPU struct {
 	idleHooks []func()
 
 	classTime   [NumClasses]sim.Duration
+	centerTime  [prov.NumCenters]sim.Duration
 	busy        sim.Duration
 	dispatches  uint64
 	preemptions uint64
@@ -254,6 +284,40 @@ func (c *CPU) ClassTime(cl Class) sim.Duration {
 		v += c.eng.Now().Sub(c.curStart)
 	}
 	return v
+}
+
+// CenterTime returns the CPU time charged to a cost center, including
+// the current partial item. The profiler's per-center utilization
+// columns and folded-stack frames read this.
+func (c *CPU) CenterTime(ct prov.Center) sim.Duration {
+	v := c.centerTime[ct]
+	if c.cur != nil && c.cur.peekItem().center == ct {
+		v += c.eng.Now().Sub(c.curStart)
+	}
+	return v
+}
+
+// AuditCycles verifies the cycle-conservation ledger at the given
+// instant: the per-center times must sum exactly to total busy time,
+// and busy plus idle must cover the whole timeline since t=0 (the CPU
+// is constructed with the engine at time zero). A non-nil error means
+// a charge path bypassed the per-center accounting — the cycle
+// equivalent of the packet ledger's lost buffer.
+func (c *CPU) AuditCycles(now sim.Time) error {
+	var centers sim.Duration
+	for ct := prov.Center(0); ct < prov.NumCenters; ct++ {
+		centers += c.CenterTime(ct)
+	}
+	busy := c.BusyTime()
+	if centers != busy {
+		return fmt.Errorf("cpu: cycle conservation violated: Σ center time %v != busy %v (Δ %v)",
+			centers, busy, centers-busy)
+	}
+	if total := busy + c.IdleTime(); total != sim.Duration(now) {
+		return fmt.Errorf("cpu: cycle conservation violated: busy %v + idle %v = %v != elapsed %v",
+			busy, c.IdleTime(), total, sim.Duration(now))
+	}
+	return nil
 }
 
 // IdleTime returns accumulated idle time.
@@ -354,9 +418,13 @@ func (c *CPU) peekBest() *Task {
 	return best
 }
 
-func (c *CPU) charge(t *Task, d sim.Duration) {
+// charge is the single site that accumulates busy time; every consumed
+// cycle lands in exactly one class and one cost center here, which is
+// what makes the cycle-conservation audit exact rather than best-effort.
+func (c *CPU) charge(t *Task, center prov.Center, d sim.Duration) {
 	t.consumed += d
 	c.classTime[t.class] += d
+	c.centerTime[center] += d
 	c.busy += d
 }
 
@@ -382,7 +450,7 @@ func (c *CPU) preempt() {
 	t := c.cur
 	now := c.eng.Now()
 	elapsed := now.Sub(c.curStart)
-	c.charge(t, elapsed)
+	c.charge(t, t.peekItem().center, elapsed)
 	if c.runHook != nil {
 		c.runHook(t, c.curStart, now)
 	}
@@ -420,7 +488,7 @@ func (c *CPU) complete() {
 	t := c.cur
 	c.completion = sim.Handle{}
 	item := t.popItem()
-	c.charge(t, item.cost)
+	c.charge(t, item.center, item.cost)
 	if c.runHook != nil {
 		c.runHook(t, c.curStart, c.eng.Now())
 	}

@@ -13,6 +13,7 @@ import (
 
 	"livelock/internal/kernel"
 	"livelock/internal/plot"
+	"livelock/internal/prof"
 	"livelock/internal/sim"
 )
 
@@ -99,6 +100,11 @@ type Point struct {
 	OutputRate float64
 	// UserPct is the user-process CPU share in percent (figure 7-1).
 	UserPct float64
+	// WastedPct is the wasted-work fraction in percent — cycles invested
+	// in packets that were later dropped, over all attributed packet
+	// cycles. Populated only by profiled sweeps (figure W-1); zero
+	// elsewhere.
+	WastedPct float64
 }
 
 // Series is one curve of a figure.
@@ -277,9 +283,41 @@ func Fig71(o Options) Figure {
 	return fig
 }
 
+// FigWasted is this reproduction's own figure W-1: the wasted-work
+// fraction — the share of attributed packet cycles spent on packets
+// that were ultimately dropped — against offered load, for the same
+// configurations as figures 6-1/6-4. It quantifies the paper's central
+// mechanism directly: under livelock the unmodified kernel's curve
+// climbs toward 100% (every cycle spent, nothing delivered), while
+// early ring drops keep the polled kernel's curve near zero.
+func FigWasted(o Options) Figure {
+	o = o.withDefaults(defaultThroughputRates)
+	fig := Figure{
+		ID:     "W-1",
+		Title:  "Wasted work fraction under increasing offered load",
+		XLabel: "Input packet rate (pkts/sec)",
+		YLabel: "Wasted work (per cent of packet cycles)",
+	}
+	specs := []seriesSpec{
+		{"Unmodified", kernel.Config{Mode: kernel.ModeUnmodified}},
+		{"Unmodified w/screend", kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}},
+		{"Polling (quota = 5)", kernel.Config{Mode: kernel.ModePolled, Quota: 5}},
+		{"Polling w/scr+fb", kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true}},
+	}
+	// Each trial gets its own profiler: specs are shared across the
+	// parallel executor's workers, so the profile cannot live in the
+	// spec's Config.
+	profiled := func(cfg kernel.Config, rate float64, warmup, measure sim.Duration) kernel.TrialResult {
+		cfg.Profile = prof.New()
+		return kernel.RunTrial(cfg, rate, warmup, measure)
+	}
+	fig.Series, fig.Errors = runSeriesWith(profiled, specs, o)
+	return fig
+}
+
 // AllFigures runs every reproduced figure.
 func AllFigures(o Options) []Figure {
-	return []Figure{Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o)}
+	return []Figure{Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o), FigWasted(o)}
 }
 
 // ByID returns the runner for a figure id ("6-1", "6-3", ...), or nil.
@@ -297,6 +335,8 @@ func ByID(id string) func(Options) Figure {
 		return Fig66
 	case "7-1", "71":
 		return Fig71
+	case "W-1", "W1", "w-1", "w1", "wasted":
+		return FigWasted
 	default:
 		return nil
 	}
@@ -305,6 +345,21 @@ func ByID(id string) func(Options) Figure {
 // userCPUFigure reports whether the figure plots user CPU share rather
 // than output rate.
 func (f Figure) userCPU() bool { return f.ID == "7-1" }
+
+// wastedWork reports whether the figure plots the wasted-work fraction.
+func (f Figure) wastedWork() bool { return f.ID == "W-1" }
+
+// value selects the y-axis value of a point for this figure.
+func (f Figure) value(p Point) float64 {
+	switch {
+	case f.userCPU():
+		return p.UserPct
+	case f.wastedWork():
+		return p.WastedPct
+	default:
+		return p.OutputRate
+	}
+}
 
 // WriteTable renders the figure as an aligned text table: one row per
 // offered rate, one column per series.
@@ -321,11 +376,7 @@ func (f Figure) WriteTable(w io.Writer) error {
 	for i := range f.rateAxis() {
 		fmt.Fprintf(w, "%-12.0f", f.rateAxis()[i])
 		for _, s := range f.Series {
-			v := s.Points[i].OutputRate
-			if f.userCPU() {
-				v = s.Points[i].UserPct
-			}
-			fmt.Fprintf(w, " | %-20.1f", v)
+			fmt.Fprintf(w, " | %-20.1f", f.value(s.Points[i]))
 		}
 		fmt.Fprintln(w)
 	}
@@ -345,11 +396,7 @@ func (f Figure) WriteCSV(w io.Writer) error {
 	for i := range f.rateAxis() {
 		row := []string{fmt.Sprintf("%.0f", f.rateAxis()[i])}
 		for _, s := range f.Series {
-			v := s.Points[i].OutputRate
-			if f.userCPU() {
-				v = s.Points[i].UserPct
-			}
-			row = append(row, fmt.Sprintf("%.1f", v))
+			row = append(row, fmt.Sprintf("%.1f", f.value(s.Points[i])))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
@@ -366,17 +413,13 @@ func (f Figure) WritePlot(w io.Writer) error {
 		XLabel: f.XLabel,
 		YLabel: f.YLabel,
 	}
-	if f.userCPU() {
+	if f.userCPU() || f.wastedWork() {
 		sc.YMax = 100
 	}
 	for _, s := range f.Series {
 		pts := make([]plot.Point, 0, len(s.Points))
 		for _, p := range s.Points {
-			v := p.OutputRate
-			if f.userCPU() {
-				v = p.UserPct
-			}
-			pts = append(pts, plot.Point{X: p.InputRate, Y: v})
+			pts = append(pts, plot.Point{X: p.InputRate, Y: f.value(p)})
 		}
 		sc.Add(s.Label, pts)
 	}

@@ -94,6 +94,7 @@ func runSeriesWith(run trialFunc, specs []seriesSpec, o Options) ([]Series, []Tr
 						InputRate:  res.InputRate,
 						OutputRate: res.OutputRate,
 						UserPct:    res.UserCPUFrac * 100,
+						WastedPct:  res.WastedFrac * 100,
 					}
 				}
 				if o.Progress != nil {

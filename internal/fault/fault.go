@@ -22,6 +22,7 @@ import (
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
 )
@@ -138,6 +139,11 @@ type Plane struct {
 	// ScreendPauses counts process-layer pause windows opened.
 	ScreendPauses *stats.Counter
 
+	// OnDrop, if non-nil, observes each frame the plane destroys (before
+	// release) with its provenance drop reason, so wire-level losses
+	// land in the same drop-classification tables as kernel drops.
+	OnDrop func(*netstack.Packet, prov.DropReason)
+
 	// hangScreend/resumeScreend drive the process-layer injector; set
 	// once by Start so the periodic windows can reschedule closure-free.
 	hangScreend   func()
@@ -187,6 +193,9 @@ func (pl *Plane) tapFrame(w *nic.Wire, p *netstack.Packet) {
 	c := &pl.cfg
 	if c.DropProb > 0 && pl.rng.Float64() < c.DropProb {
 		pl.WireDrops.Inc()
+		if pl.OnDrop != nil {
+			pl.OnDrop(p, prov.ReasonFaultWireDrop)
+		}
 		w.DropTapped(p)
 		return
 	}

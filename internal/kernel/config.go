@@ -23,6 +23,7 @@ import (
 	"livelock/internal/fault"
 	"livelock/internal/metrics"
 	"livelock/internal/nic"
+	"livelock/internal/prof"
 	"livelock/internal/sim"
 	"livelock/internal/trace"
 )
@@ -315,6 +316,13 @@ type Config struct {
 	// decision point (ring accept/drop, queue enqueue/drop, forward,
 	// screen, transmit). Tracing is for short diagnostic runs.
 	Trace *trace.Tracer
+
+	// Profile, if non-nil, attaches the cycle-attribution profiler:
+	// every packet accepted into an rx ring gets a provenance record,
+	// every cycle spent on it is invested into that record, and drops
+	// classify the investment as wasted work. Strictly observational —
+	// enabling it does not perturb the simulated schedule.
+	Profile *prof.Profile
 
 	// Metrics, if non-nil, receives the router's full instrument schema
 	// at construction (CPU utilization by class and IPL, NIC and queue

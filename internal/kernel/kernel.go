@@ -2,12 +2,15 @@ package kernel
 
 import (
 	"fmt"
+	"io"
 
 	"livelock/internal/cpu"
 	"livelock/internal/fault"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
+	"livelock/internal/prof"
+	"livelock/internal/prov"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -161,6 +164,7 @@ type Router struct {
 
 	fault *fault.Plane
 	reasm *netstack.Reassembler
+	prof  *prof.Profile
 }
 
 // NewRouter builds and starts a router. The clock begins ticking
@@ -187,6 +191,7 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 		NoSocketDrops:    stats.NewCounter("sock.nosocket"),
 		RouterOriginated: stats.NewCounter("router.originated"),
 		FragsConsumed:    stats.NewCounter("router.fragsconsumed"),
+		prof:             cfg.Profile,
 	}
 	clock := func() sim.Time { return eng.Now() }
 
@@ -245,12 +250,14 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 
 	if cfg.Screend {
 		r.screendq = queue.New("screendq", cfg.ScreendQLimit, clock)
+		r.screendq.Reason = prov.ReasonScreendQFull
 	}
 
 	// The kernel architecture.
 	switch cfg.Mode {
 	case ModeUnmodified, ModePolledCompat:
 		r.ipintrq = queue.New("ipintrq", cfg.IPIntrQLimit, clock)
+		r.ipintrq.Reason = prov.ReasonIPIntrQFull
 		r.unmod = newUnmodifiedPath(r)
 	case ModePolled:
 		r.polled = newPolledPath(r)
@@ -283,11 +290,13 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 
 	// Clock and housekeeping.
 	r.clockTask = r.CPU.NewTask("hardclock", cpu.IPLClock, 0, cpu.ClassClock)
+	r.clockTask.SetCenter(prov.CenterClock)
 	r.houseTask = r.CPU.NewTask("housekeeping", cpu.IPLThread, 50, cpu.ClassKernel)
+	r.houseTask.SetCenter(prov.CenterClock)
 	r.scheduleTick()
 
-	if cfg.Trace != nil {
-		r.wireTracing()
+	if cfg.Trace != nil || r.prof != nil {
+		r.wireObservers()
 	}
 	if cfg.Metrics != nil {
 		r.registerMetrics(cfg.Metrics)
@@ -326,6 +335,33 @@ func (r *Router) registerMetrics(reg *metrics.Registry) {
 	r.registerScreendMetrics(reg)
 	r.registerMonitorMetrics(reg)
 	r.registerFaultMetrics(reg)
+	r.registerProfMetrics(reg)
+}
+
+// registerProfMetrics registers the cycle-attribution profiler's
+// columns, or constant-zero columns under the same names when no
+// profile is attached — timelines with and without profiling stay
+// column-compatible (and the zero columns cost nothing to sample).
+func (r *Router) registerProfMetrics(reg *metrics.Registry) {
+	must := metrics.MustRegister
+	if r.prof == nil {
+		must(reg.Utilization("prof.useful.util", func() sim.Duration { return 0 }))
+		must(reg.Utilization("prof.wasted.util", func() sim.Duration { return 0 }))
+		must(reg.Gauge("prof.wasted.frac", func() float64 { return 0 }))
+		must(reg.Gauge("prof.livelock", func() float64 { return 0 }))
+		must(reg.Counter("prof.diagnoses", nil))
+		return
+	}
+	must(reg.Utilization("prof.useful.util", r.prof.UsefulCycles))
+	must(reg.Utilization("prof.wasted.util", r.prof.WastedCycles))
+	must(reg.Gauge("prof.wasted.frac", r.prof.WastedFrac))
+	must(reg.Gauge("prof.livelock", func() float64 {
+		if r.prof.Livelocked() {
+			return 1
+		}
+		return 0
+	}))
+	must(reg.CounterFunc("prof.diagnoses", r.prof.DiagnosisTotal))
 }
 
 // registerFaultMetrics registers the fault plane's injection counters,
@@ -373,9 +409,11 @@ func (r *Router) initOutQueue(p *netPort, name string, clock func() sim.Time) {
 		p.red = queue.NewRED(name, r.Cfg.OutQueueLimit, clock, r.RNG,
 			queue.DefaultREDParams(r.Cfg.OutQueueLimit))
 		p.outq = p.red.Queue
+		p.outq.Reason = prov.ReasonOutQFull
 		return
 	}
 	p.outq = queue.New(name, r.Cfg.OutQueueLimit, clock)
+	p.outq.Reason = prov.ReasonOutQFull
 }
 
 func mustInsert(t *netstack.RoutingTable, route netstack.Route) {
@@ -391,26 +429,155 @@ func (r *Router) ownID() uint64 {
 	return r.nextOwnID | 1<<63
 }
 
-// trace emits a lifecycle event when tracing is enabled.
-func (r *Router) trace(event string, p *netstack.Packet) {
+// observe records a non-terminal lifecycle event: a trace record, and a
+// provenance stage transition (closing the previous stage's dwell
+// interval). Safe to call on untracked packets — the zero handle makes
+// the profiler half a no-op.
+func (r *Router) observe(stage prov.Stage, p *netstack.Packet) {
 	if r.Cfg.Trace != nil {
-		r.Cfg.Trace.Emit(r.Eng.Now(), event, p.ID)
+		r.Cfg.Trace.Emit(r.Eng.Now(), stage, p.ID)
+	}
+	if r.prof != nil {
+		r.prof.Stage(p.Prov, stage, r.Eng.Now())
 	}
 }
 
-// wireTracing attaches trace hooks to the hardware-side observation
-// points (the kernel paths call r.trace directly).
-func (r *Router) wireTracing() {
+// drop is the single drop-classification choke point: it increments the
+// reason's kernel counter (queue-full reasons are already counted by
+// the queue that rejected the packet), emits the trace record under the
+// reason's canonical stage, and finalizes the provenance record as
+// wasted (or counts an untracked drop for packets that never consumed
+// CPU). It does NOT release the packet — call sites keep ownership,
+// some still need the frame bytes (e.g. to quote in an ICMP error).
+func (r *Router) drop(p *netstack.Packet, reason prov.DropReason) {
+	switch reason {
+	case prov.ReasonTTLExceeded:
+		r.TTLDrops.Inc()
+	case prov.ReasonBadChecksum:
+		r.BadChecksumDrops.Inc()
+	case prov.ReasonTruncated:
+		r.TruncatedDrops.Inc()
+	case prov.ReasonNoRoute, prov.ReasonMalformed:
+		r.FwdErrors.Inc()
+	case prov.ReasonNoSocket:
+		r.NoSocketDrops.Inc()
+	case prov.ReasonScreendReject:
+		r.screend.Rejected.Inc()
+	}
+	// Fault-plane losses happen outside the traced kernel paths (their
+	// reasons map to no stage) and are visible in the drop table only.
+	if r.Cfg.Trace != nil && reason.Stage() != prov.StageNone {
+		r.Cfg.Trace.EmitDrop(r.Eng.Now(), reason, p.ID)
+	}
+	if r.prof != nil {
+		if p.Prov.Zero() {
+			r.prof.DropUntracked(reason)
+		} else {
+			r.prof.Drop(p.Prov, reason, r.Eng.Now())
+		}
+	}
+}
+
+// invest charges d cycles of work on p to center in its provenance
+// record. The caller separately charges the same cycles to the CPU
+// model; invest only remembers where they went so a later drop can
+// classify them as wasted.
+func (r *Router) invest(p *netstack.Packet, center prov.Center, d sim.Duration) {
+	if r.prof != nil {
+		r.prof.Invest(p.Prov, center, d)
+	}
+}
+
+// finalizeDeliver records a packet leaving the system usefully: the
+// terminal trace record, and the provenance record closed as delivered
+// (its invested cycles join the useful ledger).
+func (r *Router) finalizeDeliver(stage prov.Stage, p *netstack.Packet) {
+	if r.Cfg.Trace != nil {
+		r.Cfg.Trace.Emit(r.Eng.Now(), stage, p.ID)
+	}
+	if r.prof != nil {
+		r.prof.Deliver(p.Prov, r.Eng.Now())
+	}
+}
+
+// wireObservers attaches the hardware-side observation hooks (the
+// kernel paths call observe/drop/finalizeDeliver directly): provenance
+// attach at ring accept, untracked drops at ring overflow, delivery
+// finalization at the sinks, and the fault plane's loss hooks.
+func (r *Router) wireObservers() {
 	for _, in := range r.Ins {
-		in := in
-		in.OnRxAccept = func(p *netstack.Packet) { r.trace(in.Name()+" rx-ring accept", p) }
-		in.OnRxDrop = func(p *netstack.Packet) { r.trace(in.Name()+" rx-ring DROP (full)", p) }
+		in.OnRxAccept = func(p *netstack.Packet) {
+			if r.prof != nil {
+				p.Prov = r.prof.Attach(p.ID, r.Eng.Now())
+			}
+			if r.Cfg.Trace != nil {
+				r.Cfg.Trace.Emit(r.Eng.Now(), prov.StageRxRingAccept, p.ID)
+			}
+		}
+		in.OnRxDrop = func(p *netstack.Packet) { r.drop(p, prov.ReasonRxRingFull) }
+		in.OnStallDrop = func(p *netstack.Packet) { r.drop(p, prov.ReasonFaultStall) }
+		in.OnResetDrop = func(p *netstack.Packet) { r.drop(p, prov.ReasonFaultReset) }
 	}
-	r.Sink.OnDeliver = func(p *netstack.Packet) { r.trace("delivered on stub Ethernet", p) }
-	for i, rev := range r.RevSinks {
-		name := fmt.Sprintf("delivered on source Ethernet %d", i)
-		rev.OnDeliver = func(p *netstack.Packet) { r.trace(name, p) }
+	r.Sink.OnDeliver = func(p *netstack.Packet) { r.finalizeDeliver(prov.StageDelivered, p) }
+	r.Sink.OnMalformed = r.dropMalformedAtSink
+	for _, rev := range r.RevSinks {
+		rev.OnDeliver = func(p *netstack.Packet) { r.finalizeDeliver(prov.StageRevDelivered, p) }
+		rev.OnMalformed = r.dropMalformedAtSink
 	}
+	if r.fault != nil {
+		r.fault.OnDrop = func(p *netstack.Packet, reason prov.DropReason) { r.drop(p, reason) }
+	}
+}
+
+// dropMalformedAtSink closes out the provenance record of a corrupted
+// frame the router forwarded but the sink rejected. The sink's own
+// malformed counter is the user-visible signal; this only settles the
+// cycle ledger (the forwarding work was wasted), so no router drop
+// counter or trace record is produced.
+func (r *Router) dropMalformedAtSink(p *netstack.Packet) {
+	if r.prof == nil {
+		return
+	}
+	if p.Prov.Zero() {
+		r.prof.DropUntracked(prov.ReasonMalformed)
+		return
+	}
+	r.prof.Drop(p.Prov, prov.ReasonMalformed, r.Eng.Now())
+}
+
+// Profile returns the attached cycle-attribution profile, or nil.
+func (r *Router) Profile() *prof.Profile { return r.prof }
+
+// AuditCycles verifies cycle conservation: the per-center ledger must
+// sum to total busy time, and busy + idle must equal elapsed simulated
+// time. Run alongside the packet-conservation Audit at the end of every
+// trial.
+func (r *Router) AuditCycles() error {
+	return r.CPU.AuditCycles(r.Eng.Now())
+}
+
+// WriteFolded emits the run's cycle attribution as folded stacks (the
+// "frames value" lines flamegraph tools consume): cpu;<center> rows
+// partitioning all CPU time, plus — when a profile is attached — the
+// per-packet useful/wasted split and the drop-provenance weights.
+// Values are microseconds.
+func (r *Router) WriteFolded(w io.Writer) error {
+	for ct := prov.Center(0); ct < prov.NumCenters; ct++ {
+		if us := r.CPU.CenterTime(ct) / sim.Microsecond; us > 0 {
+			if _, err := fmt.Fprintf(w, "cpu;%s %d\n", ct, us); err != nil {
+				return err
+			}
+		}
+	}
+	if us := r.CPU.IdleTime() / sim.Microsecond; us > 0 {
+		if _, err := fmt.Fprintf(w, "cpu;idle %d\n", us); err != nil {
+			return err
+		}
+	}
+	if r.prof != nil {
+		return r.prof.WriteFolded(w)
+	}
+	return nil
 }
 
 func (r *Router) scheduleTick() {
@@ -433,6 +600,11 @@ func (r *Router) onTick() {
 	}
 	if r.polled != nil {
 		r.polled.onTick(r.ticks)
+	}
+	if r.prof != nil {
+		// The online livelock detector samples output progress against
+		// wasted-work accumulation once per clock tick.
+		r.prof.Tick(r.Eng.Now(), r.Delivered())
 	}
 }
 
@@ -470,36 +642,33 @@ func (r *Router) forwardFrame(p *netstack.Packet) bool {
 	if err != nil {
 		switch err {
 		case netstack.ErrTTLExceeded:
-			r.TTLDrops.Inc()
-			r.trace("TTL expired — ICMP time exceeded", p)
+			r.drop(p, prov.ReasonTTLExceeded)
 			r.sendICMPError(netstack.ICMPTypeTimeExceeded, 0, p)
 		case netstack.ErrBadChecksum:
-			// Classified separately from FwdErrors: corruption injected
-			// on the wire must land in its own conservation bucket.
-			r.BadChecksumDrops.Inc()
-			r.trace("forward DROP: bad IPv4 checksum", p)
+			// Classified separately from no-route errors: corruption
+			// injected on the wire must land in its own conservation
+			// bucket.
+			r.drop(p, prov.ReasonBadChecksum)
 		case netstack.ErrTruncated:
-			r.TruncatedDrops.Inc()
-			r.trace("forward DROP: truncated frame", p)
+			r.drop(p, prov.ReasonTruncated)
 		default:
-			r.FwdErrors.Inc()
-			r.trace("forward ERROR: "+err.Error(), p)
+			r.drop(p, prov.ReasonNoRoute)
 		}
 		p.Release()
 		return false
 	}
 	port := r.portByIdx[ifIdx]
 	if port == nil {
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonNoRoute)
 		p.Release()
 		return false
 	}
 	if !port.enqueueOut(p) {
-		r.trace("output ifqueue DROP", p)
+		r.drop(p, prov.ReasonOutQFull)
 		p.Release()
 		return false
 	}
-	r.trace("forwarded to output ifqueue", p)
+	r.observe(prov.StageForwarded, p)
 	r.ifStart(port)
 	return true
 }
@@ -551,10 +720,11 @@ func (r *Router) sendICMPError(icmpType, code uint8, offender *netstack.Packet) 
 	r.RouterOriginated.Inc()
 	r.ICMPSent.Inc()
 	if !port.enqueueOut(msg) {
+		r.drop(msg, prov.ReasonOutQFull)
 		msg.Release()
 		return
 	}
-	r.trace("ICMP queued toward source", msg)
+	r.observe(prov.StageICMPQueued, msg)
 	r.ifStart(port)
 }
 
@@ -563,23 +733,23 @@ func (r *Router) sendICMPError(icmpType, code uint8, offender *netstack.Packet) 
 func (r *Router) transmitOwn(p *netstack.Packet, dst netstack.Addr) bool {
 	rt, err := r.fwd.Routes.Lookup(dst)
 	if err != nil {
+		r.drop(p, prov.ReasonNoRoute)
 		p.Release()
-		r.FwdErrors.Inc()
 		return false
 	}
 	port := r.portByIdx[rt.IfIndex]
 	if port == nil {
+		r.drop(p, prov.ReasonNoRoute)
 		p.Release()
-		r.FwdErrors.Inc()
 		return false
 	}
 	r.RouterOriginated.Inc()
 	if !port.enqueueOut(p) {
-		r.trace("output ifqueue DROP", p)
+		r.drop(p, prov.ReasonOutQFull)
 		p.Release()
 		return false
 	}
-	r.trace("reply queued", p)
+	r.observe(prov.StageReplyQueued, p)
 	r.ifStart(port)
 	return true
 }
@@ -590,7 +760,7 @@ func (r *Router) transmitOwn(p *netstack.Packet, dst netstack.Addr) bool {
 func (r *Router) ifStart(port *netPort) {
 	for !port.outq.Empty() && port.nic.TxDescriptorsFree() > 0 {
 		p := port.dequeueOut()
-		r.trace("handed to transmit descriptor", p)
+		r.observe(prov.StageTxDescriptor, p)
 		if !port.nic.StartTx(p) {
 			// Unreachable: a descriptor was free.
 			panic("kernel: StartTx refused with free descriptor")
@@ -617,20 +787,19 @@ func (r *Router) deliverLocal(p *netstack.Packet) {
 	case netstack.ProtoUDP:
 		var udp netstack.UDPHeader
 		if err := udp.Unmarshal(p.Data[netstack.EthHeaderLen+netstack.IPv4HeaderLen:]); err != nil {
-			r.FwdErrors.Inc()
+			r.drop(p, prov.ReasonMalformed)
 			p.Release()
 			return
 		}
 		sock := r.sockets[udp.DstPort]
 		if sock == nil {
-			r.NoSocketDrops.Inc()
-			r.trace("local UDP: no socket — dropped", p)
+			r.drop(p, prov.ReasonNoSocket)
 			p.Release()
 			return
 		}
 		sock.deliver(p)
 	default:
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonMalformed)
 		p.Release()
 	}
 }
@@ -646,7 +815,9 @@ func (r *Router) reassembleLocal(p *netstack.Packet) {
 	full, done, err := r.reasm.Submit(p.Data)
 	born := p.Born
 	r.FragsConsumed.Inc()
-	r.trace("fragment to reassembly queue", p)
+	// An absorbed fragment's cycles were useful: they become part of the
+	// reassembled datagram delivered below (or time out with it).
+	r.finalizeDeliver(prov.StageFragReassembly, p)
 	p.Release()
 	if err != nil {
 		r.FwdErrors.Inc()
@@ -659,7 +830,7 @@ func (r *Router) reassembleLocal(p *netstack.Packet) {
 	// The synthesized datagram is router-originated for conservation
 	// purposes: its fragments were consumed above.
 	r.RouterOriginated.Inc()
-	r.trace("datagram reassembled", whole)
+	r.observe(prov.StageReassembled, whole)
 	r.deliverLocal(whole)
 }
 
@@ -669,24 +840,24 @@ func (r *Router) handleEcho(p *netstack.Packet) {
 	var ip netstack.IPv4Header
 	ipb, err := netstack.EthPayload(p.Data)
 	if err != nil || ip.Unmarshal(ipb) != nil {
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonMalformed)
 		p.Release()
 		return
 	}
 	rt, err := r.fwd.Routes.Lookup(ip.Src)
 	if err != nil {
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonNoRoute)
 		p.Release()
 		return
 	}
 	port := r.portByIdx[rt.IfIndex]
 	if port == nil {
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonNoRoute)
 		p.Release()
 		return
 	}
 	if err := netstack.MakeEchoReplyInPlace(p.Data, port.nic.MAC()); err != nil {
-		r.FwdErrors.Inc()
+		r.drop(p, prov.ReasonMalformed)
 		p.Release()
 		return
 	}
@@ -696,8 +867,9 @@ func (r *Router) handleEcho(p *netstack.Packet) {
 	// reply counted as router-originated; without this bucket the
 	// conservation ledger would double-count the buffer.
 	r.EchoConsumed.Inc()
-	r.trace("ICMP echo reply", p)
+	r.observe(prov.StageEchoReply, p)
 	if !port.enqueueOut(p) {
+		r.drop(p, prov.ReasonOutQFull)
 		p.Release()
 		return
 	}

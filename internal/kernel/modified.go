@@ -4,6 +4,7 @@ import (
 	"livelock/internal/core"
 	"livelock/internal/cpu"
 	"livelock/internal/metrics"
+	"livelock/internal/prov"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -120,6 +121,7 @@ func newPolledPath(r *Router) *polledPath {
 
 		if isInput {
 			task := r.CPU.NewTask("rxintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+			task.SetCenter(prov.CenterRxIntr)
 			m.rxTasks = append(m.rxTasks, task)
 			port.nic.SetRxInterrupt(func() {
 				// The whole interrupt handler: dispatch cost, then
@@ -129,6 +131,7 @@ func newPolledPath(r *Router) *polledPath {
 			})
 		}
 		txTask := r.CPU.NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		txTask.SetCenter(prov.CenterTxIntr)
 		port.nic.SetTxInterrupt(func() {
 			txTask.Post(c.IntrDispatch, m.poller.Schedule)
 		})
@@ -200,13 +203,15 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 		m.r.tapMonitor(p)
 		if _, local := m.r.isLocal(p.Data); local {
 			return c.PolledRxLocalPerPkt, func() {
-				m.r.trace("poll rx → local delivery", p)
+				m.r.invest(p, prov.CenterIPInput, c.PolledRxLocalPerPkt)
+				m.r.observe(prov.StagePollRxLocal, p)
 				m.r.deliverLocal(p)
 			}, true
 		}
 		if m.r.screend != nil {
 			return c.PolledRxToScreendPerPkt, func() {
-				m.r.trace("poll rx → ip_input → screend queue", p)
+				m.r.invest(p, prov.CenterIPInput, c.PolledRxToScreendPerPkt)
+				m.r.observe(prov.StagePollRxScreend, p)
 				m.r.screend.submit(p)
 			}, true
 		}
@@ -215,7 +220,8 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 			cost -= c.FastPathSavings
 		}
 		return cost, func() {
-			m.r.trace("poll rx processed to completion", p)
+			m.r.invest(p, prov.CenterIPInput, cost)
+			m.r.observe(prov.StagePollRxForward, p)
 			m.r.forwardFrame(p)
 		}, true
 	}

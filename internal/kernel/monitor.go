@@ -5,6 +5,7 @@ import (
 	"livelock/internal/cpu"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
 )
@@ -91,6 +92,7 @@ func (r *Router) StartMonitor(cfg MonitorConfig) *Monitor {
 		Processed: stats.NewCounter("monitor.processed"),
 	}
 	m.task = r.CPU.NewTask("monitor", cpu.IPLThread, cfg.Prio, cpu.ClassUser)
+	m.task.SetCenter(prov.CenterUserProc)
 	if cfg.Feedback && r.polled != nil {
 		m.fb = core.NewFeedback(r.Eng, r.polled.gate, "monitorq-feedback",
 			r.Cfg.FeedbackTimeout)

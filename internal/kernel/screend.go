@@ -4,6 +4,7 @@ import (
 	"livelock/internal/cpu"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
 )
@@ -46,6 +47,7 @@ func newScreendProc(r *Router) *screendProc {
 	// below kernel threads — and, in the unmodified kernel, below every
 	// interrupt, which is the whole problem.
 	s.task = r.CPU.NewTask("screend", cpu.IPLThread, 5, cpu.ClassUser)
+	s.task.SetCenter(prov.CenterScreend)
 
 	// Build the configured number of no-op deny rules followed by a
 	// final allow-all, so every packet traverses the whole list (the
@@ -82,7 +84,7 @@ func (r *Router) registerScreendMetrics(reg *metrics.Registry) {
 // drive feedback in the modified kernel.
 func (s *screendProc) submit(p *netstack.Packet) {
 	if !s.r.screendq.Enqueue(p) {
-		s.r.trace("screend queue DROP (full)", p)
+		s.r.drop(p, prov.ReasonScreendQFull)
 		p.Release()
 		// Even when the enqueue fails the queue remains above its high
 		// watermark; the modified kernel re-asserts feedback here in
@@ -142,20 +144,21 @@ func (s *screendProc) loop() {
 			return
 		}
 		s.r.notifyScreendProgress()
+		s.r.invest(p, prov.CenterScreend, perPkt)
 		if s.verdict(p) {
 			s.Accepted.Inc()
-			s.r.trace("screend accept", p)
+			s.r.observe(prov.StageScreendAccept, p)
 			// The send syscall re-injects the packet; its kernel half
 			// (ip_output, ifqueue enqueue, transmit start) is charged
 			// here, in process context, as in the real system.
 			s.task.Post(c.ScreendSendPerPkt, func() {
+				s.r.invest(p, prov.CenterScreend, c.ScreendSendPerPkt)
 				s.r.forwardFrame(p)
 				s.loop()
 			})
 			return
 		}
-		s.Rejected.Inc()
-		s.r.trace("screend REJECT", p)
+		s.r.drop(p, prov.ReasonScreendReject)
 		p.Release()
 		s.loop()
 	})

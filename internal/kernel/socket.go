@@ -6,6 +6,7 @@ import (
 	"livelock/internal/core"
 	"livelock/internal/cpu"
 	"livelock/internal/netstack"
+	"livelock/internal/prov"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
@@ -41,6 +42,7 @@ func (r *Router) OpenSocket(port uint16, bufPackets int) *Socket {
 		buf:      queue.New("sockbuf", bufPackets, func() sim.Time { return r.Eng.Now() }),
 		Received: stats.NewCounter("sock.received"),
 	}
+	s.buf.Reason = prov.ReasonSockBufFull
 	r.sockets[port] = s
 	return s
 }
@@ -56,11 +58,11 @@ func (s *Socket) Drops() uint64 { return s.buf.Drops.Value() }
 func (s *Socket) deliver(p *netstack.Packet) {
 	ok := s.buf.Enqueue(p)
 	if !ok {
-		s.r.trace("socket buffer DROP (full)", p)
+		s.r.drop(p, prov.ReasonSockBufFull)
 		p.Release()
 	} else {
 		s.Received.Inc()
-		s.r.trace("delivered to socket buffer", p)
+		s.r.finalizeDeliver(prov.StageSockBufAccept, p)
 	}
 	// Re-assert feedback if a timeout re-opened the gate while the
 	// buffer is still above its high watermark (hysteresis will not
@@ -134,6 +136,7 @@ func (r *Router) StartApp(cfg AppConfig) *AppServer {
 	}
 	a.sock.app = a
 	a.task = r.CPU.NewTask("app", cpu.IPLThread, cfg.Prio, cpu.ClassUser)
+	a.task.SetCenter(prov.CenterUserProc)
 	if cfg.Feedback && r.polled != nil {
 		a.fb = r.polled.attachQueueFeedback(a.sock.buf,
 			fmt.Sprintf("sockbuf-%d-feedback", cfg.Port))

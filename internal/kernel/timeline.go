@@ -1,7 +1,10 @@
 package kernel
 
 import (
+	"strings"
+
 	"livelock/internal/metrics"
+	"livelock/internal/prof"
 	"livelock/internal/sim"
 	"livelock/internal/trace"
 	"livelock/internal/workload"
@@ -20,6 +23,9 @@ type TimelineOptions struct {
 	TraceCap int
 	// Spans enables per-task CPU scheduling span collection.
 	Spans bool
+	// Profile attaches a cycle-attribution profiler (unless cfg.Profile
+	// already carries one), populating TimelineResult.Profile.
+	Profile bool
 }
 
 // TimelineResult is everything an instrumented run produced.
@@ -29,6 +35,13 @@ type TimelineResult struct {
 	Spans *metrics.SpanLog
 	// Trace is non-nil when TimelineOptions.TraceCap was positive.
 	Trace *trace.Tracer
+	// Profile is non-nil when a profiler was attached (via
+	// TimelineOptions.Profile or Config.Profile).
+	Profile *prof.Profile
+	// Folded is the run's cycle attribution as folded stacks (one
+	// "frames value" line per stack, flamegraph input); empty unless a
+	// profiler was attached.
+	Folded string
 
 	Sent      uint64
 	Delivered uint64
@@ -50,6 +63,9 @@ func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
 	cfg.Metrics = reg
 	if o.TraceCap > 0 {
 		cfg.Trace = trace.New(o.TraceCap)
+	}
+	if o.Profile && cfg.Profile == nil {
+		cfg.Profile = prof.New()
 	}
 	r := NewRouter(eng, cfg)
 
@@ -75,12 +91,24 @@ func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
 	if err := r.Audit(gen.Sent.Value()); err != nil {
 		panic(err)
 	}
+	if err := r.AuditCycles(); err != nil {
+		panic(err)
+	}
 
-	return TimelineResult{
+	res := TimelineResult{
 		Series:    sampler.Series(),
 		Spans:     spans,
 		Trace:     cfg.Trace,
+		Profile:   cfg.Profile,
 		Sent:      gen.Sent.Value(),
 		Delivered: r.Delivered(),
 	}
+	if cfg.Profile != nil {
+		var sb strings.Builder
+		if err := r.WriteFolded(&sb); err != nil {
+			panic(err)
+		}
+		res.Folded = sb.String()
+	}
+	return res
 }

@@ -24,7 +24,7 @@ func TestTracedLifecycle(t *testing.T) {
 	}
 	var seq []string
 	for _, rec := range recs {
-		seq = append(seq, rec.Event)
+		seq = append(seq, rec.Text())
 	}
 	joined := strings.Join(seq, " | ")
 	for _, want := range []string{
@@ -56,7 +56,7 @@ func TestTracedDrops(t *testing.T) {
 	eng.Run(sim.Time(500 * sim.Millisecond))
 	var sawScreendDrop bool
 	for _, rec := range tr.Records() {
-		if strings.Contains(rec.Event, "screend queue DROP") {
+		if strings.Contains(rec.Text(), "screend queue DROP") {
 			sawScreendDrop = true
 		}
 	}
@@ -76,7 +76,7 @@ func TestTracedDrops(t *testing.T) {
 	eng2.Run(sim.Time(500 * sim.Millisecond))
 	var sawRingDrop bool
 	for _, rec := range tr2.Records() {
-		if strings.Contains(rec.Event, "rx-ring DROP") {
+		if strings.Contains(rec.Text(), "rx-ring DROP") {
 			sawRingDrop = true
 		}
 	}

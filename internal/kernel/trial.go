@@ -24,6 +24,11 @@ type TrialResult struct {
 	// Jitter is the p90−p10 latency spread (§3 lists "reasonable
 	// latency and jitter" among the scheduling requirements).
 	Jitter sim.Duration
+	// WastedFrac is the fraction of attributed packet cycles spent on
+	// packets that were ultimately dropped — wasted/(useful+wasted) over
+	// the measurement window. Populated only when cfg.Profile is set;
+	// zero otherwise.
+	WastedFrac float64
 	// Accounting is the end-of-trial conservation snapshot.
 	Accounting Accounting
 }
@@ -48,6 +53,12 @@ func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResul
 	// the queue-fill transient recorded during warmup, mirroring how the
 	// rate meters re-baseline at the same instant.
 	r.Sink.Latency.Reset()
+	// The wasted-work ledger re-baselines with the meters: warmup cycles
+	// (spent filling queues that will drain into the window) are not
+	// charged to either side.
+	if cfg.Profile != nil {
+		cfg.Profile.ResetStats()
+	}
 
 	eng.RunFor(measure)
 
@@ -67,11 +78,19 @@ func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResul
 	gen.Stop()
 	eng.RunFor(200 * sim.Millisecond)
 	res.Accounting = r.Account()
+	if cfg.Profile != nil {
+		res.WastedFrac = cfg.Profile.WastedFrac()
+	}
 	// Every trial is audited: an unbalanced ledger means the router
 	// lost or invented a buffer, and the run's numbers cannot be
 	// trusted. The panic is recovered by the parallel trial executor
 	// and surfaces as a TrialError.
 	if err := r.Audit(gen.Sent.Value()); err != nil {
+		panic(err)
+	}
+	// The cycle ledger must balance too: every busy cycle attributed to
+	// exactly one cost center, busy+idle spanning the whole run.
+	if err := r.AuditCycles(); err != nil {
 		panic(err)
 	}
 	return res

@@ -5,6 +5,7 @@ import (
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
 	"livelock/internal/nic"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
@@ -30,10 +31,12 @@ type unmodifiedPath struct {
 func newUnmodifiedPath(r *Router) *unmodifiedPath {
 	u := &unmodifiedPath{r: r}
 	u.softint = r.CPU.NewTask("netisr", cpu.IPLSoft, 0, cpu.ClassSoft)
+	u.softint.SetCenter(prov.CenterIPInput)
 
 	for _, in := range r.Ins {
 		in := in
 		task := r.CPU.NewTask("rxintr."+in.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		task.SetCenter(prov.CenterRxIntr)
 		u.rxTasks = append(u.rxTasks, task)
 		// The hardware interrupt: pay the dispatch cost, then start the
 		// batched per-packet loop.
@@ -47,6 +50,7 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 	for _, port := range r.ports {
 		port := port
 		port.txTask = r.CPU.NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		port.txTask.SetCenter(prov.CenterTxIntr)
 		port.nic.SetTxInterrupt(func() {
 			port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoop(port) })
 		})
@@ -98,17 +102,20 @@ func (u *unmodifiedPath) rxLoop(in *nic.NIC, task *cpu.Task) {
 		in.RxIntrDone()
 		return
 	}
-	task.Post(u.rxPktCost(), func() {
-		// Link-level processing done: tap the promiscuous monitor, then
-		// hand the packet to the IP layer via ipintrq. A full queue
-		// drops it here — after the device work was spent (the
-		// "foolish" drop of §6.3).
+	cost := u.rxPktCost()
+	task.Post(cost, func() {
+		// Link-level processing done: the device cycles just consumed
+		// are invested in this packet's provenance record, then the
+		// promiscuous monitor is tapped and the packet handed to the IP
+		// layer via ipintrq. A full queue drops it here — after the
+		// device work was spent (the "foolish" drop of §6.3).
+		u.r.invest(p, prov.CenterRxIntr, cost)
 		u.r.tapMonitor(p)
 		if u.r.ipintrq.Enqueue(p) {
-			u.r.trace("device IPL work done, queued to ipintrq", p)
+			u.r.observe(prov.StageIPIntrQEnqueue, p)
 			u.schedNetisr()
 		} else {
-			u.r.trace("ipintrq DROP (full) — device work wasted", p)
+			u.r.drop(p, prov.ReasonIPIntrQFull)
 			p.Release()
 		}
 		if u.r.Cfg.DisableBatching {
@@ -145,7 +152,8 @@ func (u *unmodifiedPath) softLoop() {
 	u.softint.Post(cost, func() {
 		p := u.r.ipintrq.Dequeue()
 		if p != nil {
-			u.r.trace("softint ip_input", p)
+			u.r.invest(p, prov.CenterIPInput, cost)
+			u.r.observe(prov.StageSoftIPInput, p)
 			u.deliverIP(p)
 		}
 		u.softLoop()

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
@@ -23,6 +24,7 @@ const userSlice = 100 * sim.Microsecond
 func newUserProc(r *Router) *userProc {
 	u := &userProc{r: r}
 	u.task = r.CPU.NewTask("spinner", cpu.IPLThread, 1, cpu.ClassUser)
+	u.task.SetCenter(prov.CenterUserProc)
 	u.spin()
 	return u
 }

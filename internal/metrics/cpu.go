@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
@@ -52,5 +53,21 @@ func RegisterCPU(reg *Registry, c *cpu.CPU) error {
 	if err := reg.CounterFunc("cpu.dispatches", c.Dispatches); err != nil {
 		return err
 	}
-	return reg.CounterFunc("cpu.preemptions", c.Preemptions)
+	if err := reg.CounterFunc("cpu.preemptions", c.Preemptions); err != nil {
+		return err
+	}
+	// Per-cost-center utilization: the cycle-attribution view. Together
+	// the center columns plus cpu.idle.util partition every simulated
+	// cycle (CPU.AuditCycles enforces this), so "where did the CPU go"
+	// is answerable from the timeline alone.
+	for ct := prov.Center(0); ct < prov.NumCenters; ct++ {
+		ct := ct
+		err := reg.Utilization("cpu.center."+ct.String()+".util", func() sim.Duration {
+			return c.CenterTime(ct)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 
+	"livelock/internal/prof"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/trace"
 )
@@ -53,6 +55,9 @@ type PerfettoTrace struct {
 	Spans *SpanLog
 	// Events, if non-nil, contributes packet-lifecycle instants.
 	Events *trace.Tracer
+	// Diagnoses, if non-empty, contributes the livelock detector's
+	// diagnosis stream as global instants.
+	Diagnoses []prof.Diagnosis
 	// ProcessName labels the CPU process track (default "router").
 	ProcessName string
 }
@@ -122,14 +127,42 @@ func (p *PerfettoTrace) WriteTo(w io.Writer) (int64, error) {
 		for _, rec := range p.Events.Records() {
 			var e strings.Builder
 			e.WriteString("{\"ph\":\"i\",\"s\":\"p\",\"name\":")
-			e.WriteString(strconv.Quote(rec.Event))
+			e.WriteString(strconv.Quote(rec.Stage.String()))
 			e.WriteString(",\"cat\":\"packet\",\"ts\":")
 			e.WriteString(usTS(rec.At))
 			e.WriteString(",\"pid\":1,\"tid\":0,\"args\":{\"pkt\":")
 			e.WriteString(strconv.FormatUint(rec.Pkt, 10))
+			e.WriteString(",\"stage\":")
+			e.WriteString(strconv.Quote(rec.Stage.Slug()))
+			if rec.Reason != prov.ReasonNone {
+				e.WriteString(",\"drop_reason\":")
+				e.WriteString(strconv.Quote(rec.Reason.String()))
+			}
 			e.WriteString("}}")
 			emit(e.String())
 		}
+	}
+
+	// Livelock diagnoses get their own instant track so the moment the
+	// detector fired can be lined up against the counter tracks.
+	for _, d := range p.Diagnoses {
+		var e strings.Builder
+		e.WriteString("{\"ph\":\"i\",\"s\":\"g\",\"name\":")
+		if d.Livelocked {
+			e.WriteString(strconv.Quote("LIVELOCK"))
+		} else {
+			e.WriteString(strconv.Quote("livelock cleared"))
+		}
+		e.WriteString(",\"cat\":\"diagnosis\",\"ts\":")
+		e.WriteString(usTS(d.At))
+		e.WriteString(",\"pid\":1,\"tid\":0,\"args\":{\"delivered\":")
+		e.WriteString(strconv.FormatUint(d.Delivered, 10))
+		e.WriteString(",\"wasted_frac\":")
+		e.WriteString(strconv.FormatFloat(d.WastedFrac, 'f', 4, 64))
+		e.WriteString(",\"starved_us\":")
+		e.WriteString(usDur(d.Starved))
+		e.WriteString("}}")
+		emit(e.String())
 	}
 
 	b.WriteString("\n]}\n")

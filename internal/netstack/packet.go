@@ -13,6 +13,7 @@ package netstack
 import (
 	"fmt"
 
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
@@ -32,6 +33,11 @@ type Packet struct {
 	// EnqueuedNIC is the instant the packet entered the receiving NIC's
 	// ring (start of host-visible latency).
 	EnqueuedNIC sim.Time
+
+	// Prov names this packet's provenance record in the cycle-attribution
+	// profiler. The zero handle means "untracked" (profiler disabled, or
+	// a router-originated frame) and makes every profiler op a no-op.
+	Prov prov.Handle
 
 	pool *Pool
 }
@@ -106,6 +112,7 @@ func (p *Pool) put(pkt *Packet) {
 	}
 	pkt.Data = pkt.Data[:0]
 	pkt.ID = 0
+	pkt.Prov = prov.Handle{}
 	p.free = append(p.free, pkt)
 }
 

@@ -72,6 +72,15 @@ type NIC struct {
 	// tracing. OnRxDrop fires before the dropped frame is released.
 	OnRxAccept func(*netstack.Packet)
 	OnRxDrop   func(*netstack.Packet)
+	// OnStallDrop, if non-nil, observes frames lost to a fault-stalled
+	// receive side (before release), so the provenance layer can record
+	// the loss under the fault-stall drop reason.
+	OnStallDrop func(*netstack.Packet)
+	// OnResetDrop, if non-nil, observes frames discarded from the rx
+	// ring by ResetRx (before release). Unlike stall losses these frames
+	// had been accepted into the ring, so the provenance layer must
+	// finalize their records.
+	OnResetDrop func(*netstack.Packet)
 }
 
 // New returns a NIC. wire may be nil if the interface never transmits.
@@ -141,6 +150,9 @@ func (n *NIC) DeliverFrame(p *netstack.Packet) {
 		// drop is as cheap as a ring-full one but counted separately so
 		// conservation accounting can attribute it to the fault plane.
 		n.StallDrops.Inc()
+		if n.OnStallDrop != nil {
+			n.OnStallDrop(p)
+		}
 		p.Release()
 		return
 	}
@@ -195,6 +207,9 @@ func (n *NIC) SetRxIntrLoss(fn func() bool) { n.loseRxIntr = fn }
 func (n *NIC) ResetRx() int {
 	count := 0
 	for p := n.TakeRx(); p != nil; p = n.TakeRx() {
+		if n.OnResetDrop != nil {
+			n.OnResetDrop(p)
+		}
 		p.Release()
 		count++
 	}

@@ -34,6 +34,10 @@ type Sink struct {
 	// OnDeliver, if non-nil, observes each valid delivery before the
 	// frame is released (for tracing).
 	OnDeliver func(*netstack.Packet)
+	// OnMalformed, if non-nil, observes each frame that failed
+	// validation before it is released, so provenance accounting can
+	// close out records for corrupted frames the router forwarded.
+	OnMalformed func(*netstack.Packet)
 
 	// Reassembled counts datagrams completed from fragments; the
 	// reassembler is created on the first fragment seen.
@@ -73,6 +77,9 @@ func (s *Sink) DeliverFrame(p *netstack.Packet) {
 	if s.Validate {
 		if !s.validate(p) {
 			s.Malformed.Inc()
+			if s.OnMalformed != nil {
+				s.OnMalformed(p)
+			}
 			p.Release()
 			return
 		}

@@ -1,0 +1,176 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+
+	"livelock/internal/sim"
+)
+
+// Diagnosis is one event in the online livelock detector's output
+// stream: the detector entered (Livelocked=true) or left
+// (Livelocked=false) the livelock state.
+type Diagnosis struct {
+	At sim.Time
+	// Livelocked is the state being entered at At.
+	Livelocked bool
+	// Delivered is the cumulative delivered-packet count at At.
+	Delivered uint64
+	// WastedFrac is the profile's wasted-work fraction at At.
+	WastedFrac float64
+	// Starved is how long output progress had been absent when the
+	// state was entered (entry events) or how long the livelocked
+	// episode lasted (exit events).
+	Starved sim.Duration
+}
+
+func (d Diagnosis) String() string {
+	state := "livelock CLEARED"
+	if d.Livelocked {
+		state = "LIVELOCK"
+	}
+	return fmt.Sprintf("%12v  %s: delivered=%d wasted-frac=%.3f starved=%v",
+		d.At, state, d.Delivered, d.WastedFrac, d.Starved)
+}
+
+// livelockStreak is how many consecutive detector ticks must show
+// wasted work accumulating with zero output progress before the
+// detector declares livelock. At the kernel's 1ms tick that is 10ms of
+// pure waste — far beyond any transient queue oscillation the
+// simulation produces, and far quicker than eyeballing a throughput
+// graph.
+const livelockStreak = 10
+
+// maxDiagnoses bounds the retained diagnosis stream. A run that
+// oscillates in and out of livelock more than this keeps counting
+// events (DiagnosisTotal) but stops retaining them — the detector must
+// never allocate on the hot path.
+const maxDiagnoses = 64
+
+// detector watches output progress against wasted-work accumulation.
+// Livelock has a precise signature here: the wasted ledger grows while
+// the delivered count does not move. Either signal alone is ambiguous —
+// zero deliveries is normal when idle, and wasted cycles are normal
+// while output still progresses.
+type detector struct {
+	lastDelivered uint64
+	wastedNow     sim.Duration // running wasted total, updated by Drop
+	lastWasted    sim.Duration
+	streak        int
+	streakStart   sim.Time
+	lockedSince   sim.Time
+	locked        bool
+	ticked        bool
+
+	diags []Diagnosis
+	total uint64
+
+	// OnDiagnosis, if set, observes each diagnosis as it is emitted
+	// (including ones beyond the retention bound).
+	OnDiagnosis func(Diagnosis)
+}
+
+func (d *detector) init() {
+	d.diags = make([]Diagnosis, 0, maxDiagnoses)
+}
+
+func (d *detector) resetStats() {
+	// Keep the delivered/wasted baselines: they are cumulative counters
+	// owned by the caller and the profile respectively, and the next
+	// tick re-baselines deltas anyway. Only the episode bookkeeping and
+	// retained stream reset.
+	d.streak = 0
+	d.locked = false
+	d.ticked = false
+	d.diags = d.diags[:0]
+	d.total = 0
+}
+
+// Tick advances the online livelock detector; the kernel calls it from
+// hardclock (every clock tick) with the cumulative delivered-packet
+// count. It is allocation-free.
+func (p *Profile) Tick(now sim.Time, delivered uint64) {
+	d := &p.det
+	if !d.ticked {
+		// First tick establishes the baseline; no deltas yet.
+		d.ticked = true
+		d.lastDelivered = delivered
+		d.lastWasted = d.wastedNow
+		return
+	}
+	deliveredDelta := delivered - d.lastDelivered
+	wastedDelta := d.wastedNow - d.lastWasted
+	d.lastDelivered = delivered
+	d.lastWasted = d.wastedNow
+
+	if deliveredDelta > 0 {
+		if d.locked {
+			d.locked = false
+			p.emitDiagnosis(Diagnosis{
+				At:         now,
+				Livelocked: false,
+				Delivered:  delivered,
+				WastedFrac: p.WastedFrac(),
+				Starved:    now.Sub(d.lockedSince),
+			})
+		}
+		d.streak = 0
+		return
+	}
+	if wastedDelta <= 0 {
+		// No output progress but no waste either: the system is idle or
+		// quiescing, not livelocked.
+		d.streak = 0
+		return
+	}
+	if d.streak == 0 {
+		d.streakStart = now
+	}
+	d.streak++
+	if d.streak == livelockStreak && !d.locked {
+		d.locked = true
+		d.lockedSince = now
+		p.emitDiagnosis(Diagnosis{
+			At:         now,
+			Livelocked: true,
+			Delivered:  delivered,
+			WastedFrac: p.WastedFrac(),
+			Starved:    now.Sub(d.streakStart),
+		})
+	}
+}
+
+func (p *Profile) emitDiagnosis(diag Diagnosis) {
+	d := &p.det
+	d.total++
+	if len(d.diags) < cap(d.diags) {
+		d.diags = append(d.diags, diag)
+	}
+	if d.OnDiagnosis != nil {
+		d.OnDiagnosis(diag)
+	}
+}
+
+// Livelocked reports whether the detector currently diagnoses receive
+// livelock: wasted work accumulating with no output progress.
+func (p *Profile) Livelocked() bool { return p.det.locked }
+
+// Diagnoses returns the retained diagnosis events, oldest first.
+func (p *Profile) Diagnoses() []Diagnosis { return p.det.diags }
+
+// DiagnosisTotal returns the number of diagnosis events emitted,
+// including any beyond the retention bound.
+func (p *Profile) DiagnosisTotal() uint64 { return p.det.total }
+
+// SetOnDiagnosis installs a sink observing each diagnosis as emitted.
+func (p *Profile) SetOnDiagnosis(fn func(Diagnosis)) { p.det.OnDiagnosis = fn }
+
+// WriteDiagnoses renders the retained diagnosis stream.
+func (p *Profile) WriteDiagnoses(w io.Writer) error {
+	for _, d := range p.det.diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ package queue
 import (
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 	"livelock/internal/stats"
 )
@@ -34,6 +35,14 @@ type Queue struct {
 	high     bool // currently in the "above high watermark" regime
 	OnHigh   func()
 	OnLow    func()
+
+	// Reason is the canonical drop classification for packets this queue
+	// rejects (e.g. ReasonIPIntrQFull for ipintrq). Callers that observe
+	// an Enqueue failure report the drop under this reason, so the trace
+	// stream, drop counters, and provenance table all agree on which
+	// queue killed the packet. Zero (ReasonNone) for harness queues that
+	// never feed the provenance layer.
+	Reason prov.DropReason
 
 	// Drops counts packets rejected because the queue was full.
 	Drops *stats.Counter

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"testing"
+
+	"livelock/internal/prov"
+	"livelock/internal/sim"
+)
+
+// Emit sits on every traced hot-path event — with typed stage records
+// there is no string formatting at emission time, so a full ring cycle
+// (append, wrap, evict) must not allocate.
+func TestAllocsEmit(t *testing.T) {
+	tr := New(8)
+	tr.OnEvict = func(Record) {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			tr.Emit(sim.Time(i), prov.StageForwarded, uint64(i))
+			tr.EmitDrop(sim.Time(i), prov.ReasonOutQFull, uint64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %v objects, want 0", allocs)
+	}
+}

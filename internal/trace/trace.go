@@ -1,8 +1,16 @@
-// Package trace provides a bounded, allocation-light event tracer for
-// packet lifecycles: each record is (simulated time, event, packet id).
-// The kernel emits records at every decision point — ring accept/drop,
-// queue enqueue/drop, forwarding, screening, transmit — so a short
-// traced run shows exactly where a given packet spent time or died.
+// Package trace provides a bounded, allocation-free event tracer for
+// packet lifecycles: each record is (simulated time, typed stage, drop
+// reason, packet id). The kernel emits records at every decision point
+// — ring accept/drop, queue enqueue/drop, forwarding, screening,
+// transmit — so a short traced run shows exactly where a given packet
+// spent time or died.
+//
+// Records are typed (prov.Stage / prov.DropReason) rather than
+// free-form strings: emission allocates nothing, and the stage
+// vocabulary is shared with the drop counters and the provenance
+// profiler, so trace output can never disagree with the metric columns
+// about what happened. Record.String renders the same legacy texts the
+// string-based tracer produced.
 //
 // Ring eviction: the tracer retains only the most recent capacity
 // records. When a new record arrives with the ring full, the oldest
@@ -18,19 +26,27 @@ import (
 	"fmt"
 	"io"
 
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
 // Record is one trace event.
 type Record struct {
 	At    sim.Time
-	Event string
 	Pkt   uint64
+	Stage prov.Stage
+	// Reason is non-None exactly when the record marks a drop; it is
+	// derived from the stage's drop classification at the emission
+	// site, never chosen independently.
+	Reason prov.DropReason
 }
+
+// Text returns the record's event text (the stage's legacy string).
+func (r Record) Text() string { return r.Stage.String() }
 
 // String formats the record.
 func (r Record) String() string {
-	return fmt.Sprintf("%12v  pkt#%-8d %s", r.At, r.Pkt, r.Event)
+	return fmt.Sprintf("%12v  pkt#%-8d %s", r.At, r.Pkt, r.Stage)
 }
 
 // Tracer is a fixed-capacity ring of records: the most recent capacity
@@ -54,9 +70,17 @@ func New(capacity int) *Tracer {
 	return &Tracer{buf: make([]Record, 0, capacity)}
 }
 
-// Emit records an event.
-func (t *Tracer) Emit(at sim.Time, event string, pkt uint64) {
-	r := Record{At: at, Event: event, Pkt: pkt}
+// Emit records a lifecycle event. It is allocation-free.
+func (t *Tracer) Emit(at sim.Time, stage prov.Stage, pkt uint64) {
+	t.emit(Record{At: at, Stage: stage, Pkt: pkt})
+}
+
+// EmitDrop records a drop event under the reason's canonical stage.
+func (t *Tracer) EmitDrop(at sim.Time, reason prov.DropReason, pkt uint64) {
+	t.emit(Record{At: at, Stage: reason.Stage(), Reason: reason, Pkt: pkt})
+}
+
+func (t *Tracer) emit(r Record) {
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, r)
 	} else {

@@ -5,13 +5,14 @@ import (
 	"strings"
 	"testing"
 
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
 func TestTracerRetainsInOrder(t *testing.T) {
 	tr := New(4)
 	for i := 0; i < 3; i++ {
-		tr.Emit(sim.Time(i), "ev", uint64(i))
+		tr.Emit(sim.Time(i), prov.StageRxRingAccept, uint64(i))
 	}
 	recs := tr.Records()
 	if len(recs) != 3 {
@@ -27,7 +28,7 @@ func TestTracerRetainsInOrder(t *testing.T) {
 func TestTracerEvictsOldest(t *testing.T) {
 	tr := New(3)
 	for i := 0; i < 10; i++ {
-		tr.Emit(0, "ev", uint64(i))
+		tr.Emit(0, prov.StageRxRingAccept, uint64(i))
 	}
 	recs := tr.Records()
 	if len(recs) != 3 {
@@ -46,23 +47,46 @@ func TestTracerEvictsOldest(t *testing.T) {
 
 func TestTracerFilter(t *testing.T) {
 	tr := New(10)
-	tr.Emit(0, "a", 1)
-	tr.Emit(1, "b", 2)
-	tr.Emit(2, "c", 1)
+	tr.Emit(0, prov.StageRxRingAccept, 1)
+	tr.Emit(1, prov.StageForwarded, 2)
+	tr.Emit(2, prov.StageTxDescriptor, 1)
 	got := tr.Filter(1)
-	if len(got) != 2 || got[0].Event != "a" || got[1].Event != "c" {
+	if len(got) != 2 || got[0].Stage != prov.StageRxRingAccept || got[1].Stage != prov.StageTxDescriptor {
 		t.Fatalf("Filter = %v", got)
+	}
+}
+
+// Drop records carry the reason and render under the reason's canonical
+// stage text, so "which stage killed it" is derivable from either field.
+func TestTracerEmitDrop(t *testing.T) {
+	tr := New(4)
+	tr.EmitDrop(100, prov.ReasonIPIntrQFull, 9)
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Reason != prov.ReasonIPIntrQFull || r.Stage != prov.StageIPIntrQDrop {
+		t.Fatalf("record = %+v", r)
+	}
+	if !strings.Contains(r.String(), "ipintrq DROP (full)") {
+		t.Fatalf("String = %q", r.String())
+	}
+	// Non-drop records carry ReasonNone.
+	tr.Emit(101, prov.StageForwarded, 10)
+	if got := tr.Records()[1].Reason; got != prov.ReasonNone {
+		t.Fatalf("non-drop reason = %v", got)
 	}
 }
 
 func TestTracerWriteTo(t *testing.T) {
 	tr := New(4)
-	tr.Emit(1500, "rx-ring", 7)
+	tr.Emit(1500, prov.StageRxRingAccept, 7)
 	var buf bytes.Buffer
 	if _, err := tr.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "pkt#7") || !strings.Contains(buf.String(), "rx-ring") {
+	if !strings.Contains(buf.String(), "pkt#7") || !strings.Contains(buf.String(), "rx-ring accept") {
 		t.Fatalf("output %q", buf.String())
 	}
 }
@@ -70,7 +94,7 @@ func TestTracerWriteTo(t *testing.T) {
 func TestTracerReset(t *testing.T) {
 	tr := New(3)
 	for i := 0; i < 5; i++ {
-		tr.Emit(sim.Time(i), "ev", uint64(i))
+		tr.Emit(sim.Time(i), prov.StageRxRingAccept, uint64(i))
 	}
 	tr.Reset()
 	if len(tr.Records()) != 0 || tr.Total() != 0 {
@@ -78,7 +102,7 @@ func TestTracerReset(t *testing.T) {
 	}
 	// Capacity survives and the ring fills from the start again.
 	for i := 10; i < 14; i++ {
-		tr.Emit(sim.Time(i), "ev", uint64(i))
+		tr.Emit(sim.Time(i), prov.StageRxRingAccept, uint64(i))
 	}
 	recs := tr.Records()
 	want := []uint64{11, 12, 13}
@@ -97,7 +121,7 @@ func TestTracerOnEvict(t *testing.T) {
 	var evicted []uint64
 	tr.OnEvict = func(r Record) { evicted = append(evicted, r.Pkt) }
 	for i := 0; i < 7; i++ {
-		tr.Emit(sim.Time(i), "ev", uint64(i))
+		tr.Emit(sim.Time(i), prov.StageRxRingAccept, uint64(i))
 	}
 	// Ring keeps the last 3; the first 4 must stream out in emission
 	// order, so OnEvict + Records together see every record exactly once.
