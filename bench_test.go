@@ -517,6 +517,24 @@ func BenchmarkSimulatedSecondProfiled(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatedSecondSMP4 is the SimulatedSecond twin on four
+// virtual CPUs: per-core run queues, RSS steering across four receive
+// queues, and FairLock-guarded shared queues all active. The delta
+// against BenchmarkSimulatedSecond is the SMP machinery's enabled
+// cost; at -cpus 1 that machinery is compiled out of the hot path
+// entirely, which the SimulatedSecond 2% band pins.
+func BenchmarkSimulatedSecondSMP4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cfg := kernel.Config{Mode: kernel.ModePolled, Quota: 5, CPUs: 4}
+		r := kernel.NewRouter(eng, cfg)
+		gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 5000, JitterFrac: 0.05}, 0)
+		gen.Start()
+		eng.Run(sim.Time(sim.Second))
+	}
+}
+
 // BenchmarkAblationScreendRules scales the screend rule list (§5.4:
 // inefficient code lowers the MLFRR and brings livelock closer).
 func BenchmarkAblationScreendRules(b *testing.B) {

@@ -38,7 +38,8 @@ import (
 // and one full simulated second of router operation.
 const defaultBenchRegexp = "^(BenchmarkEngineEvents|BenchmarkEngineEventsCall|" +
 	"BenchmarkCPUDispatch|BenchmarkQueueOps|BenchmarkPoolGetPut|" +
-	"BenchmarkSamplerTick|BenchmarkSimulatedSecond|BenchmarkSimulatedSecondProfiled)$"
+	"BenchmarkSamplerTick|BenchmarkSimulatedSecond|BenchmarkSimulatedSecondProfiled|" +
+	"BenchmarkSimulatedSecondSMP4)$"
 
 // defaultTight is the default per-benchmark threshold override: the
 // full-router benchmark runs with the cycle-attribution profiler

@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lkfigures", flag.ContinueOnError)
 	fs.SetOutput(w)
-	figID := fs.String("fig", "all", `figure to run: 6-1, 6-3, 6-4, 6-5, 6-6, 7-1, W-1, "latency", "mlfrr", "clocked", "tcp" or "all"`)
+	figID := fs.String("fig", "all", `figure to run: 6-1, 6-3, 6-4, 6-5, 6-6, 7-1, W-1, S-1, S-2, "latency", "mlfrr", "clocked", "tcp" or "all"`)
 	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
 	asPlot := fs.Bool("plot", false, "render text scatter plots instead of tables")
 	outDir := fs.String("out", "", "directory for per-figure CSV files (implies -csv)")
@@ -51,6 +51,8 @@ func run(args []string, w io.Writer) error {
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "simulated warmup excluded from measurement")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "concurrent trials per sweep; 0 = all CPU cores, 1 = serial")
+	cpus := fs.Int("cpus", 0, "run every trial with this many virtual CPUs (0 = per-figure default; S-1/S-2 ignore it)")
+	irqcpus := fs.Int("irqcpus", 0, "with -cpus: cores dedicated to interrupt handling in polled mode")
 	progress := fs.Bool("progress", false, "report per-sweep trial progress on stderr")
 	timelineDir := fs.String("timeline-dir", "", "also write overload timeline CSVs for the headline kernel configurations to this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -97,6 +99,8 @@ func run(args []string, w io.Writer) error {
 		Measure:  livelock.Duration(measure.Nanoseconds()),
 		Seed:     *seed,
 		Parallel: *parallel,
+		CPUs:     *cpus,
+		IRQCPUs:  *irqcpus,
 	}
 	// A zero flag is an explicit request, not "use the default".
 	if *warmup == 0 {

@@ -43,6 +43,8 @@ func run(args []string, w io.Writer) error {
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "simulated warmup")
 	measure := fs.Duration("measure", 3*time.Second, "simulated measurement window")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	cpus := fs.Int("cpus", 1, "virtual CPUs (>1 enables IRQ steering and shared-queue locks)")
+	irqcpus := fs.Int("irqcpus", 0, "polled SMP: cores dedicated to interrupt handling (< cpus)")
 	timeline := fs.String("timeline", "", "record a sampled time-series of the run (incl. warmup) to this CSV file")
 	tlInterval := fs.Duration("timeline-interval", 10*time.Millisecond, "sampling interval for -timeline")
 	faultDrop := fs.Float64("fault-drop", 0, "wire fault: per-frame drop probability")
@@ -69,6 +71,8 @@ func run(args []string, w io.Writer) error {
 		CycleLimitThreshold: *cycleLimit,
 		UserProcess:         *user,
 		Seed:                *seed,
+		CPUs:                *cpus,
+		IRQCPUs:             *irqcpus,
 		Fault: livelock.FaultConfig{
 			DropProb:             *faultDrop,
 			TruncateProb:         *faultTruncate,
@@ -151,6 +155,19 @@ func run(args []string, w io.Writer) error {
 	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
 		fmt.Fprintf(w, "  %-8s %6.2f %%\n", cl, 100*util[cl])
 	}
+	if cfg.CPUs > 1 {
+		elapsed := eng.Now().Sub(livelock.Time(0)).Seconds()
+		fmt.Fprintln(w, "\nper-core busy:")
+		r.VisitCPUs(func(c *cpu.CPU) {
+			fmt.Fprintf(w, "  cpu%-5d %6.2f %%\n", c.ID(), 100*c.BusyTime().Seconds()/elapsed)
+		})
+		ipq, net := r.Locks()
+		fmt.Fprintln(w, "\nshared-queue locks:")
+		for _, l := range []*cpu.FairLock{ipq, net} {
+			fmt.Fprintf(w, "  %-8s acquisitions=%d contended=%d spin=%v maxspin=%v\n",
+				l.Name(), l.Acquisitions(), l.Contended(), l.SpinTime(), l.MaxSpin())
+		}
+	}
 
 	// Drain and account.
 	gen.Stop()
@@ -179,6 +196,10 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "  conservation     OK")
+	if err := r.AuditCycles(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  cycle ledger     OK (every core)")
 
 	if ps := r.Poller(); ps != nil {
 		fmt.Fprintf(w, "\npoller: wakeups=%d rounds=%d rx=%d tx=%d feedback(inhibits=%d timeouts=%d) cycle(inhibits=%d)\n",

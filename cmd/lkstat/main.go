@@ -65,6 +65,8 @@ func run(args []string, w io.Writer) error {
 	feedback := fs.Bool("feedback", false, "enable screend queue-state feedback")
 	cycleLimit := fs.Float64("cyclelimit", 0, "cycle-limit threshold in (0,1); 0 = off")
 	user := fs.Bool("user", false, "run a compute-bound user process")
+	cpus := fs.Int("cpus", 1, "virtual CPUs (>1 enables IRQ steering and shared-queue locks)")
+	irqcpus := fs.Int("irqcpus", 0, "polled SMP: cores dedicated to interrupt handling (< cpus)")
 	interval := fs.Duration("interval", 10*time.Millisecond, "simulated sampling interval")
 	runFor := fs.Duration("for", time.Second, "simulated run length")
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -103,6 +105,8 @@ func run(args []string, w io.Writer) error {
 		CycleLimitThreshold: *cycleLimit,
 		UserProcess:         *user,
 		Seed:                *seed,
+		CPUs:                *cpus,
+		IRQCPUs:             *irqcpus,
 		Fault: livelock.FaultConfig{
 			DropProb:             *faultDrop,
 			TruncateProb:         *faultTruncate,

@@ -3,12 +3,14 @@ package a
 
 import (
 	"livelock/internal/cpu"
+	"livelock/internal/prov"
 	"livelock/internal/sim"
 )
 
 type model struct {
 	eng  *sim.Engine
 	task *cpu.Task
+	lock *cpu.FairLock
 	hits int
 }
 
@@ -55,6 +57,34 @@ func zeroPost(m *model) {
 	m.task.Post(0, m.work) // want `Task\.Post with zero cost`
 	m.task.Post(0, nil)    // fine: nil fn sequences bookkeeping
 	m.task.Post(3, m.work) // fine: real cost
+}
+
+func zeroPostVariants(m *model) {
+	m.task.PostCenter(0, prov.CenterIPInput, m.work)         // want `Task\.PostCenter with zero cost`
+	m.task.PostCenter(0, prov.CenterIPInput, nil)            // fine: nil fn sequences bookkeeping
+	m.task.PostCenter(3, prov.CenterIPInput, m.work)         // fine: real cost
+	m.task.PostLocked(m.lock, 0, prov.CenterIPInput, m.work) // want `Task\.PostLocked with zero cost`
+	m.task.PostLocked(m.lock, 3, prov.CenterIPInput, m.work) // fine: real cost
+}
+
+// chargedCenterTick and chargedLockedTick reach the CPU only through
+// the SMP dispatch variants; both charge cycles and must satisfy the
+// engine-callback check.
+func chargedCenterTick(a, b any) {
+	m := a.(*model)
+	m.task.PostCenter(3, prov.CenterIPInput, nil)
+	m.eng.AfterCall(7, chargedCenterTick, m, nil)
+}
+
+func chargedLockedTick(a, b any) {
+	m := a.(*model)
+	m.task.PostLocked(m.lock, 3, prov.CenterIPInput, nil)
+	m.eng.AfterCall(7, chargedLockedTick, m, nil)
+}
+
+func startSMP(m *model) {
+	m.eng.AfterCall(7, chargedCenterTick, m, nil) // fine: PostCenter charges
+	m.eng.AfterCall(7, chargedLockedTick, m, nil) // fine: PostLocked charges spin and hold
 }
 
 func hooks(c *cpu.CPU, m *model) {

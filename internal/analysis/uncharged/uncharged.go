@@ -5,8 +5,9 @@
 // that slips past the accounting quietly falsifies every utilization and
 // starvation figure. The pass flags:
 //
-//   - Task.Post with a constant zero cost and a non-nil action: the work
-//     item runs but charges nothing;
+//   - Task.Post — or its dispatch variants PostCenter and PostLocked —
+//     with a constant zero cost and a non-nil action: the work item runs
+//     but charges nothing;
 //   - run hooks (CPU.SetRunHook) that re-enter the CPU via Task.Post,
 //     which the cpu package documents as forbidden;
 //   - callbacks scheduled directly on the sim engine, in packages that
@@ -68,7 +69,11 @@ func run(pass *analysis.Pass) error {
 			fn := analysis.CalleeFunc(pass.TypesInfo, call)
 			switch {
 			case analysis.IsMethod(fn, cpuPath, "Task", "Post") && len(call.Args) == 2:
-				checkZeroPost(pass, call)
+				checkZeroPost(pass, call, "Post", call.Args[0], call.Args[1])
+			case analysis.IsMethod(fn, cpuPath, "Task", "PostCenter") && len(call.Args) == 3:
+				checkZeroPost(pass, call, "PostCenter", call.Args[0], call.Args[2])
+			case analysis.IsMethod(fn, cpuPath, "Task", "PostLocked") && len(call.Args) == 4:
+				checkZeroPost(pass, call, "PostLocked", call.Args[1], call.Args[3])
 			case analysis.IsMethod(fn, cpuPath, "CPU", "SetRunHook") && len(call.Args) == 1:
 				checkRunHook(pass, call, decls)
 			case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == simPath &&
@@ -98,18 +103,21 @@ func isScheduling(fn *types.Func) bool {
 	return false
 }
 
-// checkZeroPost flags Post(0, fn) with a non-nil fn: the action runs
-// without consuming any simulated CPU.
-func checkZeroPost(pass *analysis.Pass, call *ast.CallExpr) {
-	costTV, ok := pass.TypesInfo.Types[call.Args[0]]
+// checkZeroPost flags a dispatch call whose constant cost is zero and
+// whose action is non-nil: the action runs without consuming any
+// simulated CPU. The cost and action sit at different argument
+// positions per variant (Post(cost, fn), PostCenter(cost, center, fn),
+// PostLocked(lock, cost, center, fn)), so callers pass them explicitly.
+func checkZeroPost(pass *analysis.Pass, call *ast.CallExpr, method string, costArg, fnArg ast.Expr) {
+	costTV, ok := pass.TypesInfo.Types[costArg]
 	if !ok || costTV.Value == nil || constant.Sign(costTV.Value) != 0 {
 		return
 	}
-	if fnID, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok && fnID.Name == "nil" {
+	if fnID, ok := ast.Unparen(fnArg).(*ast.Ident); ok && fnID.Name == "nil" {
 		return // pure bookkeeping item: legal way to sequence behind queued work
 	}
 	pass.Reportf(call.Pos(),
-		"Task.Post with zero cost runs work without charging CPU cycles: pass the real cost (or nil fn for bookkeeping)")
+		"Task.%s with zero cost runs work without charging CPU cycles: pass the real cost (or nil fn for bookkeeping)", method)
 }
 
 // checkRunHook flags run hooks that re-enter the CPU; SetRunHook's
@@ -196,6 +204,19 @@ func calleeObj(pass *analysis.Pass, expr ast.Expr) *types.Func {
 	return nil
 }
 
+// isTaskPost reports whether fn is any cpu.Task dispatch variant that
+// charges cycles: Post, PostCenter (explicit cost center), or
+// PostLocked (critical section — spin and hold are both charged). The
+// per-core SMP paths dispatch almost exclusively through the latter
+// two, so a walker that only knew Post would flag them as free.
+func isTaskPost(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Post", "PostCenter", "PostLocked":
+		return analysis.IsMethod(fn, cpuPath, "Task", fn.Name())
+	}
+	return false
+}
+
 func pkgPath(fn *types.Func) string {
 	if fn.Pkg() == nil {
 		return ""
@@ -254,7 +275,7 @@ func (w *walker) walkBody(body *ast.BlockStmt, depth int) {
 			w.unresolved = true // function value or interface method
 			return true
 		}
-		if analysis.IsMethod(fn, cpuPath, "Task", "Post") {
+		if isTaskPost(fn) {
 			w.posts = true
 			return false
 		}

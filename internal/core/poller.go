@@ -46,6 +46,14 @@ type Device struct {
 	// decides which directions to enable (it must not re-enable receive
 	// interrupts while input is inhibited by feedback or cycle limits).
 	EnableInterrupts func()
+
+	// Lock, when non-nil (SMP), serializes each step's commit: the
+	// final LockedTail of the step's cost runs as a FairLock critical
+	// section and the commit executes at its end. The lock hold is
+	// carved out of the step's cost, not added to it, so a single-CPU
+	// or uncontended run spends exactly the same cycles per step.
+	Lock       *cpu.FairLock
+	LockedTail sim.Duration
 }
 
 // PollerConfig carries the poller's cost model and quota.
@@ -97,15 +105,31 @@ type Poller struct {
 // rxGate, if non-nil, is consulted before each receive step; returning
 // false skips receive processing for that device (input inhibited).
 func NewPoller(eng *sim.Engine, c *cpu.CPU, prio int, cfg PollerConfig) *Poller {
+	// Literal concatenations constant-fold, so the default poller's
+	// counter names cost no allocations (routers are built in bulk by
+	// figure sweeps, and the uniprocessor path must not pay for SMP).
+	return newPoller(eng, c, "poller",
+		"poller"+".rounds", "poller"+".wakeups", "poller"+".rx", "poller"+".tx", prio, cfg)
+}
+
+// NewNamedPoller is NewPoller with an explicit thread name — SMP
+// configurations run one polling thread per core ("poller",
+// "poller.1", ...).
+func NewNamedPoller(eng *sim.Engine, c *cpu.CPU, name string, prio int, cfg PollerConfig) *Poller {
+	return newPoller(eng, c, name,
+		name+".rounds", name+".wakeups", name+".rx", name+".tx", prio, cfg)
+}
+
+func newPoller(eng *sim.Engine, c *cpu.CPU, name, rounds, wakeups, rx, tx string, prio int, cfg PollerConfig) *Poller {
 	p := &Poller{
 		eng:     eng,
 		cfg:     cfg,
-		Rounds:  stats.NewCounter("poller.rounds"),
-		Wakeups: stats.NewCounter("poller.wakeups"),
-		RxSteps: stats.NewCounter("poller.rx"),
-		TxSteps: stats.NewCounter("poller.tx"),
+		Rounds:  stats.NewCounter(rounds),
+		Wakeups: stats.NewCounter(wakeups),
+		RxSteps: stats.NewCounter(rx),
+		TxSteps: stats.NewCounter(tx),
 	}
-	p.task = c.NewTask("poller", cpu.IPLThread, prio, cpu.ClassKernel)
+	p.task = c.NewTask(name, cpu.IPLThread, prio, cpu.ClassKernel)
 	// The thread's own machinery (wakeups, round sweeps) is polling
 	// overhead; the packet work its callbacks do is re-attributed per
 	// step below.
@@ -209,6 +233,22 @@ func (p *Poller) step() {
 				center := prov.CenterIPInput
 				if p.doingTx {
 					center = prov.CenterOutput
+				}
+				if dev.Lock != nil {
+					tail := dev.LockedTail
+					if tail > cost {
+						tail = cost
+					}
+					if cost > tail {
+						p.task.PostCenter(cost-tail, center, nil)
+					}
+					p.task.PostLocked(dev.Lock, tail, center, func() {
+						if commit != nil {
+							commit()
+						}
+						p.step()
+					})
+					return
 				}
 				p.task.PostCenter(cost, center, func() {
 					if commit != nil {

@@ -93,6 +93,15 @@ type workItem struct {
 	cost   sim.Duration // remaining cost
 	center prov.Center  // cost center the item's cycles are charged to
 	fn     func()
+
+	// lock, when non-nil, makes this a critical-section item: at
+	// dispatch the CPU acquires lock (spinning with interrupts disabled
+	// until it is free, FIFO), holds it for cost, runs fn at unlock, and
+	// restores the saved interrupt flag. spin and savedInt are filled in
+	// at dispatch.
+	lock     *FairLock
+	spin     sim.Duration
+	savedInt bool
 }
 
 // Task is a schedulable entity: an interrupt handler, a software
@@ -181,6 +190,32 @@ func (t *Task) PostCenter(cost sim.Duration, center prov.Center, fn func()) {
 	c.reschedule()
 }
 
+// PostLocked queues a critical-section item guarded by l: when the item
+// is dispatched the CPU saves its interrupt-enable flag, disables
+// interrupts, and spins until the lock is free (FIFO handoff — cores
+// acquire in dispatch order); it then holds the lock for cost, runs fn
+// atomically at unlock, and restores the interrupt flag. Spin cycles
+// are charged to prov.CenterLock, hold cycles to center. This is the
+// awkernel FairLock discipline: spin_lock_irqsave semantics with fair
+// queueing, so no core can starve behind a lucky neighbor.
+func (t *Task) PostLocked(l *FairLock, cost sim.Duration, center prov.Center, fn func()) {
+	if l == nil {
+		panic("cpu: PostLocked with nil lock")
+	}
+	if cost < 0 {
+		panic("cpu: negative work cost")
+	}
+	if center >= prov.NumCenters {
+		panic("cpu: invalid cost center")
+	}
+	t.items = append(t.items, workItem{cost: cost, center: center, fn: fn, lock: l})
+	c := t.cpu
+	if !t.ready && t != c.cur {
+		c.markReady(t)
+	}
+	c.reschedule()
+}
+
 func (t *Task) popItem() workItem {
 	it := t.items[t.head]
 	t.items[t.head] = workItem{}
@@ -198,6 +233,14 @@ func (t *Task) peekItem() *workItem { return &t.items[t.head] }
 // engine and must only be used from engine events.
 type CPU struct {
 	eng *sim.Engine
+	id  int
+
+	// intEnabled is the per-CPU interrupt-enable flag: while false
+	// (inside a spinlock critical section, or an explicit
+	// SaveAndDisableInterrupts window) no task preempts the one
+	// running, regardless of IPL. Dispatch of new work when the CPU is
+	// idle is unaffected.
+	intEnabled bool
 
 	tasks []*Task
 	ready []*Task
@@ -223,7 +266,44 @@ type CPU struct {
 
 // New returns an idle CPU attached to the engine.
 func New(eng *sim.Engine) *CPU {
-	return &CPU{eng: eng, isIdle: true}
+	c := &CPU{}
+	c.init(eng)
+	return c
+}
+
+// init prepares a zero CPU in place (System embeds its boot CPU).
+func (c *CPU) init(eng *sim.Engine) {
+	c.eng = eng
+	c.isIdle = true
+	c.intEnabled = true
+}
+
+// ID returns the CPU's index within its System (0 for a standalone CPU).
+func (c *CPU) ID() int { return c.id }
+
+// InterruptsEnabled reports the per-CPU interrupt-enable flag.
+func (c *CPU) InterruptsEnabled() bool { return c.intEnabled }
+
+// SaveAndDisableInterrupts disables preemption on this CPU and returns
+// the previous flag value, to be handed back to RestoreInterrupts —
+// the spl-style save/restore pair a spinlock wraps its critical
+// section in. Nesting works: inner sections save "disabled" and
+// restore it, so interrupts only truly re-enable at the outermost
+// restore.
+func (c *CPU) SaveAndDisableInterrupts() bool {
+	was := c.intEnabled
+	c.intEnabled = false
+	return was
+}
+
+// RestoreInterrupts restores a flag saved by SaveAndDisableInterrupts.
+// If interrupts become enabled and a higher-priority task pended while
+// they were off, the preemption fires now (like dropping spl).
+func (c *CPU) RestoreInterrupts(saved bool) {
+	c.intEnabled = saved
+	if saved {
+		c.reschedule()
+	}
 }
 
 // NewTask registers a task. Higher ipl always beats lower; within an
@@ -290,9 +370,28 @@ func (c *CPU) ClassTime(cl Class) sim.Duration {
 // the current partial item. The profiler's per-center utilization
 // columns and folded-stack frames read this.
 func (c *CPU) CenterTime(ct prov.Center) sim.Duration {
-	v := c.centerTime[ct]
-	if c.cur != nil && c.cur.peekItem().center == ct {
-		v += c.eng.Now().Sub(c.curStart)
+	return c.centerTime[ct] + c.curCenterPartial(ct)
+}
+
+// curCenterPartial attributes the running item's elapsed time to cost
+// centers: a locked item spends its leading spin in prov.CenterLock and
+// only the remainder in its own center, so mid-item audits stay exact.
+func (c *CPU) curCenterPartial(ct prov.Center) sim.Duration {
+	if c.cur == nil {
+		return 0
+	}
+	it := c.cur.peekItem()
+	elapsed := c.eng.Now().Sub(c.curStart)
+	spin := it.spin
+	if spin > elapsed {
+		spin = elapsed
+	}
+	var v sim.Duration
+	if ct == prov.CenterLock {
+		v += spin
+	}
+	if ct == it.center {
+		v += elapsed - spin
 	}
 	return v
 }
@@ -432,6 +531,12 @@ func (c *CPU) charge(t *Task, center prov.Center, d sim.Duration) {
 // highest-priority runnable task, preempting mid-item if necessary.
 func (c *CPU) reschedule() {
 	if c.cur != nil {
+		if !c.intEnabled {
+			// Interrupts disabled (spinlock critical section): the
+			// running item cannot be preempted; pended work is
+			// re-evaluated when the flag is restored.
+			return
+		}
 		best := c.peekBest()
 		if best == nil || !higher(best, c.cur) {
 			return
@@ -475,10 +580,23 @@ func (c *CPU) start(t *Task) {
 	c.cur = t
 	c.curStart = now
 	c.dispatches++
+	it := t.peekItem()
+	run := it.cost
+	if it.lock != nil {
+		// Acquire at dispatch: the lock hands out FIFO reservations, so
+		// the spin delay is known immediately (critical sections run
+		// with interrupts disabled and are never preempted, so every
+		// holder releases exactly hold-cost after acquiring). A locked
+		// item is dispatched exactly once — preemption is blocked for
+		// its whole spin+hold window.
+		it.spin = it.lock.reserve(now, it.cost)
+		it.savedInt = c.SaveAndDisableInterrupts()
+		run += it.spin
+	}
 	// Closure-free scheduling: the dispatch path runs once per work
 	// item, so a method-value closure here would be the CPU model's
 	// single biggest allocation source.
-	c.completion = c.eng.AfterCall(t.peekItem().cost, cpuComplete, c, nil)
+	c.completion = c.eng.AfterCall(run, cpuComplete, c, nil)
 }
 
 // cpuComplete is the completion-timer callback (sim.Callback shape).
@@ -488,11 +606,20 @@ func (c *CPU) complete() {
 	t := c.cur
 	c.completion = sim.Handle{}
 	item := t.popItem()
+	if item.spin > 0 {
+		c.charge(t, prov.CenterLock, item.spin)
+	}
 	c.charge(t, item.center, item.cost)
 	if c.runHook != nil {
 		c.runHook(t, c.curStart, c.eng.Now())
 	}
 	c.cur = nil
+	if item.lock != nil {
+		// Unlock: restore the interrupt flag saved at acquisition
+		// before the commit fn runs, so work fn posts is dispatched
+		// under normal preemption rules.
+		c.intEnabled = item.savedInt
+	}
 	if t.Pending() > 0 {
 		// Refresh the sequence number so equal-priority tasks
 		// round-robin at item granularity.

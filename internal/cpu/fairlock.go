@@ -1,0 +1,71 @@
+package cpu
+
+import "livelock/internal/sim"
+
+// FairLock is a FIFO spin lock over simulated time, modeled on the
+// awkernel fair-lock discipline: an acquirer saves its CPU's
+// interrupt-enable flag, disables interrupts, and waits its turn in
+// strict arrival order; release hands the lock directly to the next
+// waiter and restores the saved flag. Because critical sections run
+// with interrupts disabled they are never preempted, so every holder
+// releases exactly its hold cost after acquiring — which lets the lock
+// hand out reservations at acquisition time instead of simulating the
+// spin cycle by cycle. Spin time is real busy time: the CPU burns those
+// cycles (charged to prov.CenterLock) making no forward progress,
+// which is exactly how livelock resurfaces as contention on SMP.
+//
+// FairLock is driven entirely from engine events (via Task.PostLocked),
+// so acquisition order is the engine's deterministic event order.
+type FairLock struct {
+	name        string
+	availableAt sim.Time
+
+	acquisitions uint64
+	contended    uint64
+	spinTime     sim.Duration
+	maxSpin      sim.Duration
+}
+
+// NewFairLock returns an uncontended lock. The name appears in metric
+// columns (lock.<name>.*).
+func NewFairLock(name string) *FairLock {
+	return &FairLock{name: name}
+}
+
+// Name returns the lock's name.
+func (l *FairLock) Name() string { return l.name }
+
+// reserve acquires the lock at the earliest instant ≥ now it is free,
+// reserving it for hold. It returns the spin delay (0 when
+// uncontended). Callers acquire in reserve order: FIFO handoff.
+func (l *FairLock) reserve(now sim.Time, hold sim.Duration) sim.Duration {
+	start := now
+	if l.availableAt > start {
+		start = l.availableAt
+		l.contended++
+	}
+	spin := start.Sub(now)
+	l.availableAt = start.Add(hold)
+	l.acquisitions++
+	l.spinTime += spin
+	if spin > l.maxSpin {
+		l.maxSpin = spin
+	}
+	return spin
+}
+
+// Acquisitions returns the total number of acquisitions.
+func (l *FairLock) Acquisitions() uint64 { return l.acquisitions }
+
+// Contended returns how many acquisitions had to spin.
+func (l *FairLock) Contended() uint64 { return l.contended }
+
+// SpinTime returns the total time all CPUs spent spinning on the lock.
+func (l *FairLock) SpinTime() sim.Duration { return l.spinTime }
+
+// MaxSpin returns the longest single spin.
+func (l *FairLock) MaxSpin() sim.Duration { return l.maxSpin }
+
+// HeldUntil returns the instant the lock becomes free given current
+// reservations (useful for tests; in the past when uncontended).
+func (l *FairLock) HeldUntil() sim.Time { return l.availableAt }

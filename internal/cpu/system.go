@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"fmt"
+
+	"livelock/internal/sim"
+)
+
+// System is a fixed set of N CPUs sharing one simulation engine — the
+// SMP generalization of the single-processor model. Each CPU keeps its
+// own run queue, interrupt-enable flag, and cycle ledgers; cross-CPU
+// interaction happens only through FairLocks and through tasks posting
+// work to tasks that live on other CPUs.
+//
+// Determinism: the engine serializes every event, and same-instant
+// events run in scheduling order (the engine's sequence numbers), so
+// the core interleave is a fixed, reproducible function of the
+// configuration — there is no hidden scheduler state. Goldens at any
+// core count are byte-stable for that reason.
+type System struct {
+	eng  *sim.Engine
+	cpus []*CPU
+
+	// boot embeds CPU 0 and one backs the uniprocessor cpus slice, so
+	// the whole complex is a single allocation in the overwhelmingly
+	// common CPUs == 1 case (figure sweeps build routers in bulk, and
+	// the uniprocessor path must not pay for SMP).
+	boot CPU
+	one  [1]*CPU
+}
+
+// NewSystem returns n idle CPUs attached to the engine (n < 1 is
+// treated as 1). CPU 0 is the boot processor: single-threaded kernel
+// services (clock, housekeeping, user processes) live there.
+func NewSystem(eng *sim.Engine, n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	s := &System{eng: eng}
+	s.boot.init(eng)
+	if n == 1 {
+		s.one[0] = &s.boot
+		s.cpus = s.one[:]
+		return s
+	}
+	s.cpus = make([]*CPU, n)
+	s.cpus[0] = &s.boot
+	for i := 1; i < n; i++ {
+		c := New(eng)
+		c.id = i
+		s.cpus[i] = c
+	}
+	return s
+}
+
+// N returns the number of CPUs.
+func (s *System) N() int { return len(s.cpus) }
+
+// CPU returns processor i.
+func (s *System) CPU(i int) *CPU { return s.cpus[i] }
+
+// Visit calls fn for every CPU in index order.
+func (s *System) Visit(fn func(*CPU)) {
+	for _, c := range s.cpus {
+		fn(c)
+	}
+}
+
+// AuditCycles runs the cycle-conservation audit on every core: per
+// core, Σ center time must equal busy time and busy + idle must cover
+// the elapsed timeline. The first violating core is reported.
+func (s *System) AuditCycles(now sim.Time) error {
+	for _, c := range s.cpus {
+		if err := c.AuditCycles(now); err != nil {
+			return fmt.Errorf("cpu%d: %w", c.id, err)
+		}
+	}
+	return nil
+}

@@ -59,6 +59,13 @@ type Options struct {
 	// serialized (done is strictly increasing) but may be issued from
 	// worker goroutines.
 	Progress func(done, total int, elapsed time.Duration)
+	// CPUs, when > 0, overrides the virtual CPU count of every trial
+	// (the -cpus sweep); IRQCPUs then sets how many cores the polled
+	// kernel dedicates to interrupts. Zero leaves each figure's own
+	// configuration — the uniprocessor default — untouched. Figures
+	// S-1/S-2 ignore the override: their x-axis is the core count.
+	CPUs    int
+	IRQCPUs int
 }
 
 func (o Options) withDefaults(defaultRates []float64) Options {
@@ -315,9 +322,104 @@ func FigWasted(o Options) Figure {
 	return fig
 }
 
+// irqHalfCores is the seriesSpec sentinel for "half the cores take
+// interrupts": mlfrrOverCores resolves it to CPUs/2 per trial, since
+// the real value depends on the point's position on the core axis.
+const irqHalfCores = -1
+
+// smp1Cores and smp2Cores are the core-count axes of figures S-1 and
+// S-2. S-2 starts at 2: isolation needs at least one core left over
+// for polling.
+var (
+	smp1Cores = []float64{1, 2, 4, 8}
+	smp2Cores = []float64{2, 4, 8}
+)
+
+// mlfrrOverCores adapts the parallel trial executor to a core-count
+// sweep: the rate axis carries the virtual CPU count and each trial
+// reports its configuration's MLFRR as the output rate. The Options
+// CPUs/IRQCPUs override deliberately does not apply — the axis is the
+// core count.
+func mlfrrOverCores(specs []seriesSpec, o Options) ([]Series, []TrialError) {
+	run := func(cfg kernel.Config, cores float64, warmup, measure sim.Duration) kernel.TrialResult {
+		mo := Options{Warmup: warmup, Measure: measure, Seed: cfg.Seed, Parallel: 1}
+		if warmup == 0 {
+			mo.Warmup = ZeroWarmup
+		}
+		if measure == 0 {
+			mo.Measure = ZeroMeasure
+		}
+		if cfg.Seed == 0 {
+			mo.Seed = ZeroSeed
+		}
+		cfg.CPUs = int(cores)
+		if cfg.IRQCPUs == irqHalfCores {
+			cfg.IRQCPUs = cfg.CPUs / 2
+		}
+		return kernel.TrialResult{InputRate: cores, OutputRate: MLFRR(cfg, 0.98, mo)}
+	}
+	return runSeriesWith(run, specs, o)
+}
+
+// FigSMP1 is this reproduction's figure S-1: MLFRR against the virtual
+// CPU count for the paper's best kernel (polling, quota 10, screend,
+// queue-state feedback) and, for contrast, the unmodified kernel on
+// the same screend path plus the pure in-kernel forwarding path with
+// no screend at all. Per-core netisrs and steered receive queues let
+// the kernel path scale nearly linearly until it reaches the wire
+// rate, while both screend curves flatten early: screend is a single
+// user process pinned to the boot CPU, so extra cores only offload
+// the device and IP work around it — Amdahl's law, not livelock, is
+// the SMP ceiling.
+func FigSMP1(o Options) Figure {
+	o = o.withDefaults(nil)
+	o.Rates = smp1Cores // fixed core axis, never the offered-load axis
+	fig := Figure{
+		ID:     "S-1",
+		Title:  "MLFRR scaling with virtual CPUs, polling kernel with quota and feedback",
+		XLabel: "Virtual CPUs",
+		YLabel: "MLFRR (pkts/sec)",
+	}
+	fig.Series, fig.Errors = mlfrrOverCores([]seriesSpec{
+		{"Unmodified w/screend", kernel.Config{Mode: kernel.ModeUnmodified, Screend: true}},
+		{"Polling w/feedback", kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true}},
+		{"Polling, no screend", kernel.Config{Mode: kernel.ModePolled, Quota: 10}},
+	}, o)
+	return fig
+}
+
+// FigSMP2 is figure S-2: the S-1 polling kernel with interrupt-isolated
+// cores — the last IRQCPUs cores take every device interrupt while the
+// rest run polling threads undisturbed. One dedicated interrupt core is
+// compared against no isolation and against giving interrupts half the
+// machine.
+func FigSMP2(o Options) Figure {
+	o = o.withDefaults(nil)
+	o.Rates = smp2Cores // fixed core axis, never the offered-load axis
+	fig := Figure{
+		ID:     "S-2",
+		Title:  "MLFRR with interrupt-isolated cores, polling kernel with quota and feedback",
+		XLabel: "Virtual CPUs",
+		YLabel: "MLFRR (pkts/sec)",
+	}
+	base := kernel.Config{Mode: kernel.ModePolled, Quota: 10, Screend: true, Feedback: true}
+	oneIRQ, halfIRQ := base, base
+	oneIRQ.IRQCPUs = 1
+	halfIRQ.IRQCPUs = irqHalfCores
+	fig.Series, fig.Errors = mlfrrOverCores([]seriesSpec{
+		{"No IRQ isolation", base},
+		{"1 IRQ core", oneIRQ},
+		{"Half cores IRQ", halfIRQ},
+	}, o)
+	return fig
+}
+
 // AllFigures runs every reproduced figure.
 func AllFigures(o Options) []Figure {
-	return []Figure{Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o), FigWasted(o)}
+	return []Figure{
+		Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o), FigWasted(o),
+		FigSMP1(o), FigSMP2(o),
+	}
 }
 
 // ByID returns the runner for a figure id ("6-1", "6-3", ...), or nil.
@@ -337,6 +439,10 @@ func ByID(id string) func(Options) Figure {
 		return Fig71
 	case "W-1", "W1", "w-1", "w1", "wasted":
 		return FigWasted
+	case "S-1", "S1", "s-1", "s1":
+		return FigSMP1
+	case "S-2", "S2", "s-2", "s2":
+		return FigSMP2
 	default:
 		return nil
 	}

@@ -14,6 +14,10 @@ import (
 // router forwards at least lossTolerance of the input.
 func MLFRR(cfg kernel.Config, lossTolerance float64, o Options) float64 {
 	o = o.withDefaults(nil)
+	if o.CPUs > 0 {
+		cfg.CPUs = o.CPUs
+		cfg.IRQCPUs = o.IRQCPUs
+	}
 	lo, hi := 100.0, float64(14880)
 	for hi-lo > 50 {
 		mid := (lo + hi) / 2

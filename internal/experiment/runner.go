@@ -137,5 +137,9 @@ func runOneTrial(run trialFunc, cfg kernel.Config, rate float64, o Options) (res
 		}
 	}()
 	cfg.Seed = o.Seed
+	if o.CPUs > 0 {
+		cfg.CPUs = o.CPUs
+		cfg.IRQCPUs = o.IRQCPUs
+	}
 	return run(cfg, rate, o.Warmup, o.Measure), nil
 }

@@ -186,6 +186,32 @@ func Scenarios() []*Scenario {
 			MaxQuiescentEvents: 8,
 			Independent:        EmitIndependent,
 		},
+		{
+			Name: "smpcontend",
+			Desc: "2 tying sources into a 2-core unmodified kernel, one receive queue " +
+				"per NIC steered to opposite cores: every interleave of the two cores " +
+				"contending on ipintrq must preserve the ledger and finish its work",
+			Config: kernel.Config{
+				Mode:          kernel.ModeUnmodified,
+				CPUs:          2,
+				FlowSpread:    1, // single flow; RSS is idle with one queue
+				NIC:           nic.Config{RxRing: 8, TxRing: 8, RxQueues: 1},
+				IPIntrQLimit:  8,
+				OutQueueLimit: 8,
+				ClockTick:     1 * ms,
+				PoolBuffers:   64,
+				Seed:          1,
+			},
+			Sources:            2,
+			PacketsPerSource:   3,
+			Gap:                150 * us,
+			Horizon:            2 * ms,
+			Drain:              10 * ms,
+			ProgressWindow:     3 * ms,
+			MaxPendingEvents:   64,
+			MaxQuiescentEvents: 8,
+			Independent:        EmitIndependent,
+		},
 	}
 }
 

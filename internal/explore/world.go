@@ -470,11 +470,32 @@ func (w *world) fingerprint() uint64 {
 	}
 
 	z.int(w.r.Pool.Available())
-	w.r.CPU.VisitTasks(func(t *cpu.Task) { z.int(t.Pending()) })
-	if cur := w.r.CPU.Running(); cur != nil {
-		z.str(cur.Name())
-	} else {
-		z.str("")
+	// Every core's run-queue depth, running task, and interrupt flag is
+	// forward-relevant; on a uniprocessor this degenerates to the
+	// pre-SMP hash over the boot CPU.
+	w.r.VisitCPUs(func(c *cpu.CPU) {
+		c.VisitTasks(func(t *cpu.Task) { z.int(t.Pending()) })
+		if cur := c.Running(); cur != nil {
+			z.str(cur.Name())
+		} else {
+			z.str("")
+		}
+		z.bool(c.InterruptsEnabled())
+	})
+	// FairLock reservations: how much longer each shared-queue lock is
+	// spoken for decides future spin times, so it is state; absolute
+	// acquisition counters are not.
+	ipqL, netL := w.r.Locks()
+	for _, l := range []*cpu.FairLock{ipqL, netL} {
+		if l == nil {
+			z.int(-1)
+			continue
+		}
+		if d := int64(l.HeldUntil()) - int64(now); d > 0 {
+			z.u64(uint64(d))
+		} else {
+			z.u64(0)
+		}
 	}
 
 	z.bool(w.r.InputInhibited())

@@ -145,6 +145,14 @@ type Costs struct {
 	// livelock by lowering per-packet cost).
 	FastPathSavings sim.Duration
 
+	// LockOp is the hold time of one locked shared-queue operation
+	// (enqueue or dequeue under a FairLock) on SMP configurations. The
+	// per-packet path cost is unchanged: the locked portion is carved
+	// out of the existing per-packet constants, so a 1-CPU run and an
+	// uncontended N-CPU run spend identical cycles per packet — what an
+	// N-CPU run adds is spin time, charged to prov.CenterLock.
+	LockOp sim.Duration
+
 	// ClockTickCost is the hardclock handler cost, every ClockTick.
 	ClockTickCost sim.Duration
 	// HousekeepPerTick is periodic system housekeeping run at thread
@@ -170,7 +178,7 @@ func ModernCosts() Costs {
 		&c.ScreendRuleCost, &c.ScreendSendPerPkt,
 		&c.PollWakeup, &c.PollRound, &c.PolledRxPerPkt,
 		&c.PolledRxToScreendPerPkt, &c.PolledRxLocalPerPkt,
-		&c.PolledTxPerPkt, &c.CompatPenalty,
+		&c.PolledTxPerPkt, &c.CompatPenalty, &c.LockOp,
 		&c.ClockTickCost, &c.HousekeepPerTick,
 	} {
 		scale(d)
@@ -202,6 +210,7 @@ func DefaultCosts() Costs {
 		PolledTxPerPkt:          40 * us,
 		CompatPenalty:           5 * us,
 		FastPathSavings:         30 * us,
+		LockOp:                  3 * us,
 
 		ClockTickCost:    30 * us,
 		HousekeepPerTick: 30 * us,
@@ -273,6 +282,27 @@ type Config struct {
 	// InputNICs is the number of input interfaces, each with its own
 	// source wire (>1 exercises round-robin fairness). Default 1.
 	InputNICs int
+
+	// CPUs is the number of simulated processors (default 1). At 1 the
+	// router is byte-identical to the pre-SMP uniprocessor model. Above
+	// 1, receive work is steered across cores by per-queue NIC
+	// interrupts (see NIC.RxQueues) and the shared kernel queues are
+	// guarded by FairLocks; CPU 0 remains the boot processor running
+	// the clock, housekeeping, screend, and user processes.
+	CPUs int
+
+	// IRQCPUs, in ModePolled with CPUs > 1, dedicates the last IRQCPUs
+	// cores to interrupt handling and leaves the remaining CPUs-IRQCPUs
+	// cores running polling threads — the "interrupt-isolated cores"
+	// arrangement. Must be < CPUs; zero means no isolation (every core
+	// runs a poller and takes its share of interrupts).
+	IRQCPUs int
+
+	// FlowSpread, when > 1, makes each generator cycle its UDP source
+	// port over FlowSpread values so the NIC's RSS hash spreads the load
+	// across receive queues. Defaults to 4×CPUs when CPUs > 1, else 1
+	// (single flow, byte-identical to the pre-SMP workload).
+	FlowSpread int
 
 	// Queue limits.
 	IPIntrQLimit  int // ipintrq (BSD default IFQ_MAXLEN = 50)
@@ -361,6 +391,25 @@ func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.InputNICs == 0 {
 		c.InputNICs = d.InputNICs
+	}
+	if c.CPUs < 1 {
+		c.CPUs = 1
+	}
+	if c.IRQCPUs < 0 {
+		c.IRQCPUs = 0
+	}
+	if c.IRQCPUs >= c.CPUs {
+		c.IRQCPUs = c.CPUs - 1
+	}
+	if c.CPUs > 1 {
+		// SMP defaults: one RSS queue per core on each input NIC, and
+		// enough flows to populate them. Explicit settings win.
+		if c.NIC.RxQueues == 0 {
+			c.NIC.RxQueues = c.CPUs
+		}
+		if c.FlowSpread == 0 {
+			c.FlowSpread = 4 * c.CPUs
+		}
 	}
 	if c.IPIntrQLimit == 0 {
 		c.IPIntrQLimit = d.IPIntrQLimit

@@ -87,8 +87,11 @@ func (p *netPort) dequeueOut() *netstack.Packet {
 
 // Router is the simulated router-under-test plus its instrumentation.
 type Router struct {
-	Eng  *sim.Engine
-	RNG  *sim.RNG
+	Eng *sim.Engine
+	RNG *sim.RNG
+	// Sys is the processor complex; CPU aliases Sys.CPU(0), the boot
+	// processor, where every single-threaded kernel service lives.
+	Sys  *cpu.System
 	CPU  *cpu.CPU
 	Pool *netstack.Pool
 	Cfg  Config
@@ -115,6 +118,15 @@ type Router struct {
 	// Queues (presence depends on mode/screend).
 	ipintrq  *queue.Queue
 	screendq *queue.Queue
+
+	// SMP lock discipline (nil at CPUs == 1): ipqLock serializes ipintrq
+	// (the unmodified kernel's device→softint handoff); netLock
+	// serializes everything downstream — output ifqueues, transmit
+	// start, and the screend queue. Lock hold times are carved out of
+	// the existing per-packet costs, so contention (spin) is the only
+	// time an SMP run adds.
+	ipqLock *cpu.FairLock
+	netLock *cpu.FairLock
 
 	// Sub-systems.
 	unmod   *unmodifiedPath
@@ -171,10 +183,12 @@ type Router struct {
 // immediately; attach generators and run the engine to drive traffic.
 func NewRouter(eng *sim.Engine, cfg Config) *Router {
 	cfg = cfg.withDefaults()
+	sys := cpu.NewSystem(eng, cfg.CPUs)
 	r := &Router{
 		Eng:              eng,
 		RNG:              sim.NewRNG(cfg.Seed),
-		CPU:              cpu.New(eng),
+		Sys:              sys,
+		CPU:              sys.CPU(0),
 		Pool:             netstack.NewPool(cfg.PoolBuffers, netstack.EthMaxFrame),
 		Cfg:              cfg,
 		portByIdx:        make(map[int]*netPort),
@@ -194,6 +208,10 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 		prof:             cfg.Profile,
 	}
 	clock := func() sim.Time { return eng.Now() }
+	if r.smp() {
+		r.ipqLock = cpu.NewFairLock("ipintrq")
+		r.netLock = cpu.NewFairLock("net")
+	}
 
 	// Output interface toward the stub Ethernet.
 	r.Sink = nic.NewSink(eng, "stub")
@@ -313,6 +331,19 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 func (r *Router) registerMetrics(reg *metrics.Registry) {
 	must := metrics.MustRegister
 	must(metrics.RegisterCPU(reg, r.CPU))
+	// SMP-only columns append after the boot CPU's so uniprocessor
+	// timelines keep their historical schema byte-for-byte.
+	if r.smp() {
+		for i := 1; i < r.Sys.N(); i++ {
+			must(metrics.RegisterCPUPrefixed(reg, r.Sys.CPU(i), fmt.Sprintf("cpu%d.", i)))
+		}
+		for _, l := range []*cpu.FairLock{r.ipqLock, r.netLock} {
+			l := l
+			must(reg.CounterFunc("lock."+l.Name()+".acquisitions", l.Acquisitions))
+			must(reg.CounterFunc("lock."+l.Name()+".contended", l.Contended))
+			must(reg.Utilization("lock."+l.Name()+".spin.util", l.SpinTime))
+		}
+	}
 	must(r.Sink.RegisterMetrics(reg))
 	for _, in := range r.Ins {
 		must(in.RegisterMetrics(reg))
@@ -548,12 +579,22 @@ func (r *Router) dropMalformedAtSink(p *netstack.Packet) {
 // Profile returns the attached cycle-attribution profile, or nil.
 func (r *Router) Profile() *prof.Profile { return r.prof }
 
-// AuditCycles verifies cycle conservation: the per-center ledger must
-// sum to total busy time, and busy + idle must equal elapsed simulated
-// time. Run alongside the packet-conservation Audit at the end of every
-// trial.
+// smp reports whether this router runs more than one CPU.
+func (r *Router) smp() bool { return r.Cfg.CPUs > 1 }
+
+// Locks exposes the SMP kernel locks (both nil at CPUs == 1): the
+// ipintrq lock and the net lock, in that order.
+func (r *Router) Locks() (ipq, net *cpu.FairLock) { return r.ipqLock, r.netLock }
+
+// VisitCPUs calls fn for every processor in core order.
+func (r *Router) VisitCPUs(fn func(*cpu.CPU)) { r.Sys.Visit(fn) }
+
+// AuditCycles verifies cycle conservation on every core: the per-center
+// ledger must sum to total busy time, and busy + idle must equal
+// elapsed simulated time, per core. Run alongside the
+// packet-conservation Audit at the end of every trial.
 func (r *Router) AuditCycles() error {
-	return r.CPU.AuditCycles(r.Eng.Now())
+	return r.Sys.AuditCycles(r.Eng.Now())
 }
 
 // WriteFolded emits the run's cycle attribution as folded stacks (the
@@ -563,13 +604,17 @@ func (r *Router) AuditCycles() error {
 // Values are microseconds.
 func (r *Router) WriteFolded(w io.Writer) error {
 	for ct := prov.Center(0); ct < prov.NumCenters; ct++ {
-		if us := r.CPU.CenterTime(ct) / sim.Microsecond; us > 0 {
+		var total sim.Duration
+		r.Sys.Visit(func(c *cpu.CPU) { total += c.CenterTime(ct) })
+		if us := total / sim.Microsecond; us > 0 {
 			if _, err := fmt.Fprintf(w, "cpu;%s %d\n", ct, us); err != nil {
 				return err
 			}
 		}
 	}
-	if us := r.CPU.IdleTime() / sim.Microsecond; us > 0 {
+	var idle sim.Duration
+	r.Sys.Visit(func(c *cpu.CPU) { idle += c.IdleTime() })
+	if us := idle / sim.Microsecond; us > 0 {
 		if _, err := fmt.Fprintf(w, "cpu;idle %d\n", us); err != nil {
 			return err
 		}
@@ -890,15 +935,16 @@ func (r *Router) AttachGeneratorTo(i int, dst netstack.Addr, dstPort uint16,
 	arrival workload.Arrival, maxPackets uint64) *workload.Generator {
 	in := r.Ins[i]
 	cfg := workload.Config{
-		Arrival:      arrival,
-		SrcMAC:       netstack.MAC{0xbb, 0, 0, 0, 0, byte(i + 1)},
-		DstMAC:       in.MAC(),
-		SrcIP:        InputSourceIP(i),
-		DstIP:        dst,
-		SrcPort:      5000 + uint16(i),
-		DstPort:      dstPort,
-		PayloadBytes: 4,
-		MaxPackets:   maxPackets,
+		Arrival:       arrival,
+		SrcMAC:        netstack.MAC{0xbb, 0, 0, 0, 0, byte(i + 1)},
+		DstMAC:        in.MAC(),
+		SrcIP:         InputSourceIP(i),
+		DstIP:         dst,
+		SrcPort:       5000 + uint16(i),
+		SrcPortSpread: r.Cfg.FlowSpread,
+		DstPort:       dstPort,
+		PayloadBytes:  4,
+		MaxPackets:    maxPackets,
 	}
 	return workload.NewGenerator(r.Eng, r.RNG, r.SourceWires[i], r.Pool, cfg)
 }
@@ -1076,11 +1122,12 @@ func (r *Router) Poller() *PollerStats {
 	if r.polled == nil {
 		return nil
 	}
-	s := &PollerStats{
-		Wakeups: r.polled.poller.Wakeups.Value(),
-		Rounds:  r.polled.poller.Rounds.Value(),
-		RxSteps: r.polled.poller.RxSteps.Value(),
-		TxSteps: r.polled.poller.TxSteps.Value(),
+	s := &PollerStats{}
+	for _, pol := range r.polled.pollers {
+		s.Wakeups += pol.Wakeups.Value()
+		s.Rounds += pol.Rounds.Value()
+		s.RxSteps += pol.RxSteps.Value()
+		s.TxSteps += pol.TxSteps.Value()
 	}
 	if r.polled.feedback != nil {
 		s.FeedbackInhibits = r.polled.feedback.Inhibits.Value()

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"livelock/internal/core"
 	"livelock/internal/cpu"
 	"livelock/internal/metrics"
@@ -33,29 +35,67 @@ type polledPath struct {
 	rxTasks  []*cpu.Task
 	feedback *core.Feedback
 	limiter  *core.CycleLimiter
+
+	// SMP generalization: one polling thread per non-IRQ core
+	// (pollers[0] is poller above), each serving the rx queues steered
+	// to it. rxRefs records the (port, queue) → poller assignment for
+	// the gate-reopen and watchdog paths; txOwner is the poller that
+	// runs each port's transmit-reclaim step.
+	pollers []*core.Poller
+	one     [1]*core.Poller // backs pollers on a uniprocessor (no allocation)
+	rxRefs  []rxQueueRef
+	txOwner map[*netPort]*core.Poller
+}
+
+// rxQueueRef is one steered receive queue and the poller serving it.
+type rxQueueRef struct {
+	port *netPort
+	q    int
+	pol  *core.Poller
 }
 
 func newPolledPath(r *Router) *polledPath {
 	m := &polledPath{r: r, gate: core.NewGate(), clocked: r.Cfg.ClockedPollInterval > 0}
 	c := r.Cfg.Costs
 
-	m.poller = core.NewPoller(r.Eng, r.CPU, 10, core.PollerConfig{
+	pcfg := core.PollerConfig{
 		Quota:      r.Cfg.Quota,
 		WakeupCost: c.PollWakeup,
 		RoundCost:  c.PollRound,
-	})
+	}
+	m.poller = core.NewPoller(r.Eng, r.CPU, 10, pcfg)
+	m.one[0] = m.poller
+	m.pollers = m.one[:]
+	if r.smp() {
+		// One polling thread per core, minus any cores dedicated to
+		// interrupt handling (Config.IRQCPUs isolation).
+		for k := 1; k < r.Cfg.CPUs-r.Cfg.IRQCPUs; k++ {
+			m.pollers = append(m.pollers,
+				core.NewNamedPoller(r.Eng, r.Sys.CPU(k), fmt.Sprintf("poller.%d", k), 10, pcfg))
+		}
+	}
 
 	// Input gating: the poller skips receive callbacks while the gate
 	// is closed; transmit processing is never gated (§7: "the
 	// cycle-limit mechanism inhibits packet input processing but not
 	// output processing").
-	m.poller.SetRxGate(func(*core.Device) bool { return m.gate.Open() })
+	for _, pol := range m.pollers {
+		pol.SetRxGate(func(*core.Device) bool { return m.gate.Open() })
+	}
 
 	// When the gate re-opens, unmask receive interrupts so backlogged
-	// rings immediately re-assert (unless the poller is about to notice
-	// the backlog itself).
+	// rings immediately re-assert (unless the poller serving them is
+	// about to notice the backlog itself).
 	m.gate.OnChange = func(open bool) {
 		if !open || m.clocked {
+			return
+		}
+		if r.smp() {
+			for _, ref := range m.rxRefs {
+				if !ref.pol.Scheduled() {
+					ref.port.nic.RxQueueIntrDone(ref.q)
+				}
+			}
 			return
 		}
 		if m.poller.Scheduled() {
@@ -75,8 +115,18 @@ func newPolledPath(r *Router) *polledPath {
 
 	if th := r.Cfg.CycleLimitThreshold; th > 0 && th < 1 {
 		m.limiter = core.NewCycleLimiter(m.gate, gateCycles, r.Cfg.CycleLimitPeriod, th)
-		m.poller.SetUsageHook(m.limiter.NoteUsage)
+		for _, pol := range m.pollers {
+			pol.SetUsageHook(m.limiter.NoteUsage)
+		}
 		r.CPU.OnIdle(m.limiter.OnIdle)
+	}
+
+	if r.smp() {
+		m.initDevicesSMP()
+		if m.clocked {
+			m.scheduleClockedPoll()
+		}
+		return m
 	}
 
 	// Device registration (§6.4 "at boot time, the modified interface
@@ -147,6 +197,116 @@ func newPolledPath(r *Router) *polledPath {
 	return m
 }
 
+// initDevicesSMP is the SMP device registration: each input NIC
+// exposes one device per rx queue, assigned round-robin (by global
+// queue index) to the polling threads; every step's commit runs under
+// r.netLock since the output ifqueues and screend queue are shared
+// across cores. Each port's transmit-reclaim step rides on its first
+// queue's device; the output-only port registers with poller 0.
+// Per-queue MSI-like interrupt tasks land on the queue's own core, or
+// on the dedicated IRQ cores when Config.IRQCPUs isolates them.
+func (m *polledPath) initDevicesSMP() {
+	r := m.r
+	c := r.Cfg.Costs
+	n := r.Sys.N()
+	nPoll := len(m.pollers)
+	nIRQ := r.Cfg.IRQCPUs
+	m.txOwner = make(map[*netPort]*core.Poller)
+
+	irqCPU := func(idx int) *cpu.CPU {
+		if nIRQ > 0 {
+			return r.Sys.CPU(nPoll + idx%nIRQ)
+		}
+		return r.Sys.CPU(idx % n)
+	}
+	nullStep := func() (sim.Duration, func(), bool) { return 0, nil, false }
+
+	// The output-only port first, matching the uniprocessor
+	// registration order (r.ports lists it first).
+	out := r.portByIdx[OutIfIndex]
+	m.txOwner[out] = m.pollers[0]
+	m.pollers[0].Register(&core.Device{
+		Name:       out.nic.Name(),
+		Rx:         nullStep,
+		Tx:         m.txStep(out),
+		Lock:       r.netLock,
+		LockedTail: c.LockOp,
+		EnableInterrupts: func() {
+			if m.clocked {
+				return
+			}
+			if !out.outq.Empty() || out.nic.TxCompletedLen() > r.Cfg.NIC.TxRing/2 {
+				out.nic.TxIntrDone()
+			}
+		},
+	})
+
+	gidx := 0
+	for _, port := range r.ports {
+		port := port
+		if port.idx == OutIfIndex {
+			continue
+		}
+		for q := 0; q < port.nic.RxQueues(); q++ {
+			q := q
+			pol := m.pollers[gidx%nPoll]
+			hasTx := q == 0
+			dev := &core.Device{
+				Name:       fmt.Sprintf("%s.q%d", port.nic.Name(), q),
+				Rx:         m.rxQueueStep(port, q),
+				Tx:         nullStep,
+				Lock:       r.netLock,
+				LockedTail: c.LockOp,
+			}
+			if hasTx {
+				dev.Tx = m.txStep(port)
+				m.txOwner[port] = pol
+			}
+			dev.EnableInterrupts = func() {
+				if m.clocked {
+					return
+				}
+				if m.gate.Open() {
+					port.nic.RxQueueIntrDone(q)
+				}
+				if hasTx && (!port.outq.Empty() || port.nic.TxCompletedLen() > r.Cfg.NIC.TxRing/2) {
+					port.nic.TxIntrDone()
+				}
+			}
+			pol.Register(dev)
+			m.rxRefs = append(m.rxRefs, rxQueueRef{port: port, q: q, pol: pol})
+
+			task := irqCPU(gidx).NewTask(
+				fmt.Sprintf("rxintr.%s.q%d", port.nic.Name(), q),
+				cpu.IPLDevice, 0, cpu.ClassIntr)
+			task.SetCenter(prov.CenterRxIntr)
+			m.rxTasks = append(m.rxTasks, task)
+			sched := pol.Schedule
+			port.nic.SetRxQueueInterrupt(q, func() {
+				task.Post(c.IntrDispatch, sched)
+			})
+			gidx++
+		}
+	}
+
+	// Transmit interrupts: one device-IPL task per port, steered like
+	// the rx tasks, waking the poller that owns the port's reclaim step.
+	for _, port := range r.ports {
+		port := port
+		txTask := irqCPU(gidx).NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+		txTask.SetCenter(prov.CenterTxIntr)
+		sched := m.txOwner[port].Schedule
+		port.nic.SetTxInterrupt(func() {
+			txTask.Post(c.IntrDispatch, sched)
+		})
+		if m.clocked {
+			port.nic.EnableRxInterrupt(false)
+			port.nic.EnableTxInterrupt(false)
+		}
+		gidx++
+	}
+}
+
 // registerMetrics registers the polled path's instruments: poller
 // activity counters (the per-interval rx delta is quota usage) and the
 // input gate's state, under the same names the unmodified path
@@ -154,10 +314,26 @@ func newPolledPath(r *Router) *polledPath {
 func (m *polledPath) registerMetrics(reg *metrics.Registry) {
 	must := metrics.MustRegister
 	must(reg.Gauge("netisr.pending", func() float64 { return 0 }))
-	must(reg.Counter("poller.wakeups", m.poller.Wakeups))
-	must(reg.Counter("poller.rounds", m.poller.Rounds))
-	must(reg.Counter("poller.rx", m.poller.RxSteps))
-	must(reg.Counter("poller.tx", m.poller.TxSteps))
+	if len(m.pollers) > 1 {
+		sum := func(pick func(*core.Poller) *stats.Counter) func() uint64 {
+			return func() uint64 {
+				var total uint64
+				for _, pol := range m.pollers {
+					total += pick(pol).Value()
+				}
+				return total
+			}
+		}
+		must(reg.CounterFunc("poller.wakeups", sum(func(p *core.Poller) *stats.Counter { return p.Wakeups })))
+		must(reg.CounterFunc("poller.rounds", sum(func(p *core.Poller) *stats.Counter { return p.Rounds })))
+		must(reg.CounterFunc("poller.rx", sum(func(p *core.Poller) *stats.Counter { return p.RxSteps })))
+		must(reg.CounterFunc("poller.tx", sum(func(p *core.Poller) *stats.Counter { return p.TxSteps })))
+	} else {
+		must(reg.Counter("poller.wakeups", m.poller.Wakeups))
+		must(reg.Counter("poller.rounds", m.poller.Rounds))
+		must(reg.Counter("poller.rx", m.poller.RxSteps))
+		must(reg.Counter("poller.tx", m.poller.TxSteps))
+	}
 	must(reg.Gauge("gate.open", func() float64 {
 		if m.gate.Open() {
 			return 1
@@ -185,7 +361,9 @@ func (m *polledPath) scheduleClockedPoll() {
 // clockedPoll is the periodic poll callback (sim.Callback shape).
 func clockedPoll(a, _ any) {
 	m := a.(*polledPath)
-	m.poller.Schedule()
+	for _, pol := range m.pollers {
+		pol.Schedule()
+	}
 	m.scheduleClockedPoll()
 }
 
@@ -197,6 +375,43 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 	c := m.r.Cfg.Costs
 	return func() (sim.Duration, func(), bool) {
 		p := port.nic.TakeRx()
+		if p == nil {
+			return 0, nil, false
+		}
+		m.r.tapMonitor(p)
+		if _, local := m.r.isLocal(p.Data); local {
+			return c.PolledRxLocalPerPkt, func() {
+				m.r.invest(p, prov.CenterIPInput, c.PolledRxLocalPerPkt)
+				m.r.observe(prov.StagePollRxLocal, p)
+				m.r.deliverLocal(p)
+			}, true
+		}
+		if m.r.screend != nil {
+			return c.PolledRxToScreendPerPkt, func() {
+				m.r.invest(p, prov.CenterIPInput, c.PolledRxToScreendPerPkt)
+				m.r.observe(prov.StagePollRxScreend, p)
+				m.r.screend.submit(p)
+			}, true
+		}
+		cost := c.PolledRxPerPkt
+		if m.r.fastPathHit(p.Data) {
+			cost -= c.FastPathSavings
+		}
+		return cost, func() {
+			m.r.invest(p, prov.CenterIPInput, cost)
+			m.r.observe(prov.StagePollRxForward, p)
+			m.r.forwardFrame(p)
+		}, true
+	}
+}
+
+// rxQueueStep is rxStep for one steered rx queue of an input port (SMP):
+// identical processing, but pulling only from queue q so each poller
+// drains exactly the queues whose interrupts it owns.
+func (m *polledPath) rxQueueStep(port *netPort, q int) core.Step {
+	c := m.r.Cfg.Costs
+	return func() (sim.Duration, func(), bool) {
+		p := port.nic.TakeRxQueue(q)
 		if p == nil {
 			return 0, nil, false
 		}
@@ -303,7 +518,14 @@ func (m *polledPath) onTick(ticks uint64) {
 // recovery at reopen, and a closed gate means the system is already
 // fielding feedback/cycle-limit pressure, not wedged.
 func (m *polledPath) watchdog() {
-	if m.clocked || m.poller.Scheduled() || !m.gate.Open() {
+	if m.clocked || !m.gate.Open() {
+		return
+	}
+	if m.r.smp() {
+		m.watchdogSMP()
+		return
+	}
+	if m.poller.Scheduled() {
 		return
 	}
 	for _, in := range m.r.Ins {
@@ -315,6 +537,32 @@ func (m *polledPath) watchdog() {
 	for _, port := range m.r.ports {
 		if !port.outq.Empty() && port.nic.TxCompletedLen() == m.r.Cfg.NIC.TxRing {
 			m.poller.Schedule()
+			return
+		}
+	}
+}
+
+// watchdogSMP is the per-queue/per-poller form of the same recovery:
+// each steered rx queue and each port's transmit ring is checked
+// against the poller that serves it.
+func (m *polledPath) watchdogSMP() {
+	for _, ref := range m.rxRefs {
+		if ref.pol.Scheduled() {
+			continue
+		}
+		n := ref.port.nic
+		if n.RxQueueLen(ref.q) > 0 && !n.RxQueuePending(ref.q) && n.RxInterruptEnabled() {
+			n.RxQueueIntrDone(ref.q)
+			return
+		}
+	}
+	for _, port := range m.r.ports {
+		pol := m.txOwner[port]
+		if pol == nil || pol.Scheduled() {
+			continue
+		}
+		if !port.outq.Empty() && port.nic.TxCompletedLen() == m.r.Cfg.NIC.TxRing {
+			pol.Schedule()
 			return
 		}
 	}

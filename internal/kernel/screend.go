@@ -123,6 +123,10 @@ func (s *screendProc) wakeup() {
 		return
 	}
 	s.scheduled = true
+	if s.r.smp() {
+		s.task.Post(s.r.Cfg.Costs.ScreendWakeup, s.loopSMP)
+		return
+	}
 	s.task.Post(s.r.Cfg.Costs.ScreendWakeup, s.loop)
 }
 
@@ -161,6 +165,60 @@ func (s *screendProc) loop() {
 		s.r.drop(p, prov.ReasonScreendReject)
 		p.Release()
 		s.loop()
+	})
+}
+
+// loopSMP is loop with the shared-state touches under r.netLock: the
+// screendq dequeue (producers on other cores enqueue under the same
+// lock) and the re-injection into the shared output path. Lock holds
+// are carved out of the existing syscall costs, so per-packet totals
+// match the uniprocessor path exactly.
+func (s *screendProc) loopSMP() {
+	if s.hung || s.r.screendq.Empty() {
+		s.scheduled = false
+		return
+	}
+	c := s.r.Cfg.Costs
+	perPkt := c.ScreendRecvPerPkt + c.ScreendFilterPerPkt +
+		sim.Duration(len(s.rules))*c.ScreendRuleCost
+	body := perPkt - c.LockOp
+	if body < 0 {
+		body = 0
+	}
+	var p *netstack.Packet
+	s.task.PostLocked(s.r.netLock, c.LockOp, prov.CenterScreend, func() {
+		p = s.r.screendq.Dequeue()
+		if p != nil {
+			s.r.invest(p, prov.CenterScreend, c.LockOp)
+		}
+	})
+	s.task.Post(body, func() {
+		if p == nil {
+			s.scheduled = false
+			return
+		}
+		s.r.notifyScreendProgress()
+		s.r.invest(p, prov.CenterScreend, body)
+		if s.verdict(p) {
+			s.Accepted.Inc()
+			s.r.observe(prov.StageScreendAccept, p)
+			sendBody := c.ScreendSendPerPkt - c.LockOp
+			if sendBody < 0 {
+				sendBody = 0
+			}
+			s.task.Post(sendBody, func() {
+				s.r.invest(p, prov.CenterScreend, sendBody)
+			})
+			s.task.PostLocked(s.r.netLock, c.LockOp, prov.CenterScreend, func() {
+				s.r.invest(p, prov.CenterScreend, c.LockOp)
+				s.r.forwardFrame(p)
+				s.loopSMP()
+			})
+			return
+		}
+		s.r.drop(p, prov.ReasonScreendReject)
+		p.Release()
+		s.loopSMP()
 	})
 }
 

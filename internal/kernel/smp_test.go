@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"livelock/internal/cpu"
+	"livelock/internal/prov"
+	"livelock/internal/sim"
+	"livelock/internal/workload"
+)
+
+// smpModes are the kernel configurations the SMP suite sweeps — the
+// same four arms as TestPacketConservation.
+var smpModes = []struct {
+	name string
+	cfg  Config
+}{
+	{"unmodified", Config{Mode: ModeUnmodified}},
+	{"unmodified-screend", Config{Mode: ModeUnmodified, Screend: true}},
+	{"polled-compat", Config{Mode: ModePolledCompat, Quota: 5}},
+	{"polled-feedback", Config{Mode: ModePolled, Quota: 10, Screend: true, Feedback: true}},
+}
+
+// timelineCSV runs a short instrumented trial and returns its CSV bytes.
+func timelineCSV(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	res := RunTimeline(cfg, 6000, TimelineOptions{RunFor: 300 * sim.Millisecond})
+	var buf bytes.Buffer
+	if err := res.Series.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUniprocessorEquivalence pins the SMP generalization's central
+// promise: at CPUs == 1, every kernel mode — clean and under faults —
+// takes exactly the pre-SMP code paths. An explicit CPUs: 1 timeline
+// must be byte-identical to the default-config one, and its schema
+// must contain none of the SMP-only columns (per-core CPUs, locks).
+// The committed golden figure digests (testdata/golden-figures.json,
+// generated before the SMP change) pin the same property across the
+// whole figure suite.
+func TestUniprocessorEquivalence(t *testing.T) {
+	for _, m := range smpModes {
+		for _, sc := range faultScenarios {
+			t.Run(m.name+"/"+sc.name, func(t *testing.T) {
+				base := m.cfg
+				base.Seed = 7
+				base.Fault = sc.cfg
+				explicit := base
+				explicit.CPUs = 1
+				got := timelineCSV(t, explicit)
+				want := timelineCSV(t, base)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("CPUs:1 timeline differs from default (%d vs %d bytes)", len(got), len(want))
+				}
+				// No SMP-only columns may appear: per-core CPU blocks
+				// ("cpu1."...) or FairLock stats ("lock.ipintrq."...).
+				// Note cpu.center.lock.util legitimately exists at any
+				// core count (the CenterLock column is zero here), so
+				// match column prefixes, not substrings.
+				header := string(got[:bytes.IndexByte(got, '\n')])
+				for _, col := range strings.Split(header, ",") {
+					if strings.HasPrefix(col, "cpu1.") || strings.HasPrefix(col, "lock.") {
+						t.Fatalf("uniprocessor timeline leaked SMP column %q", col)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSMPCycleConservation extends TestCycleConservation across core
+// counts: at N ∈ {2, 4}, clean and under every fault scenario, the
+// packet ledger must balance globally and the cycle ledger must balance
+// on every core — Σ per-core centers == that core's busy time, busy +
+// idle == elapsed (cpu.AuditCycles per core, and Router.AuditCycles for
+// the whole complex).
+func TestSMPCycleConservation(t *testing.T) {
+	for _, m := range smpModes {
+		for _, n := range []int{2, 4} {
+			for _, sc := range faultScenarios {
+				t.Run(fmt.Sprintf("%s/cpus%d/%s", m.name, n, sc.name), func(t *testing.T) {
+					cfg := m.cfg
+					cfg.Seed = 7
+					cfg.Fault = sc.cfg
+					cfg.CPUs = n
+					eng := sim.NewEngine()
+					r := NewRouter(eng, cfg)
+					gen := r.AttachGenerator(0, workload.ConstantRate{Rate: 6000, JitterFrac: 0.05}, 0)
+					gen.Start()
+					eng.Run(sim.Time(sim.Second))
+					gen.Stop()
+					eng.RunFor(500 * sim.Millisecond) // drain
+					if gen.Sent.Value() == 0 {
+						t.Fatal("generator sent nothing")
+					}
+					if r.Delivered() == 0 {
+						t.Fatal("nothing delivered")
+					}
+					if err := r.Audit(gen.Sent.Value()); err != nil {
+						t.Fatalf("packet ledger unbalanced: %v\n%+v", err, r.Account())
+					}
+					if err := r.AuditCycles(); err != nil {
+						t.Fatalf("cycle ledger unbalanced: %v", err)
+					}
+					// The same invariant, asserted core by core so a future
+					// aggregate-only AuditCycles cannot silently weaken it.
+					if r.Sys.N() != n {
+						t.Fatalf("system has %d cores, want %d", r.Sys.N(), n)
+					}
+					now := eng.Now()
+					for i := 0; i < r.Sys.N(); i++ {
+						if err := r.Sys.CPU(i).AuditCycles(now); err != nil {
+							t.Fatalf("cpu%d ledger unbalanced: %v", i, err)
+						}
+					}
+					// The SMP machinery must actually have engaged: shared
+					// queues were touched under their locks.
+					ipq, net := r.Locks()
+					if net.Acquisitions() == 0 {
+						t.Fatal("net lock never acquired — SMP path not exercised")
+					}
+					if cfg.Mode != ModePolled && ipq.Acquisitions() == 0 {
+						t.Fatal("ipintrq lock never acquired — SMP path not exercised")
+					}
+					// Work must have spread beyond the boot CPU.
+					var busyElsewhere sim.Duration
+					for i := 1; i < r.Sys.N(); i++ {
+						busyElsewhere += r.Sys.CPU(i).BusyTime()
+					}
+					if busyElsewhere == 0 {
+						t.Fatal("no work ran off the boot CPU")
+					}
+					// Spin time, if any, is charged to the lock center.
+					var lockCenter sim.Duration
+					r.VisitCPUs(func(c *cpu.CPU) { lockCenter += c.CenterTime(prov.CenterLock) })
+					if spin := ipq.SpinTime() + net.SpinTime(); spin != lockCenter {
+						t.Fatalf("lock spin %v != CenterLock time %v", spin, lockCenter)
+					}
+				})
+			}
+		}
+	}
+}

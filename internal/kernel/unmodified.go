@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"livelock/internal/cpu"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
@@ -22,10 +24,18 @@ import (
 type unmodifiedPath struct {
 	r *Router
 
-	rxTasks []*cpu.Task // one per input NIC, device IPL
-	softint *cpu.Task   // the netisr, softint IPL
+	rxTasks []*cpu.Task // one per input NIC (SMP: per rx queue), device IPL
+	softint *cpu.Task   // the netisr, softint IPL (boot CPU)
 
 	softintScheduled bool
+
+	// SMP generalization (nil at CPUs == 1): one netisr per core —
+	// softints[0] is the boot CPU's softint above — each scheduled by
+	// the receive handlers steered to that core, all contending on the
+	// shared ipintrq under r.ipqLock.
+	softints  []*cpu.Task
+	softSched []bool
+	softRun   []func()
 }
 
 func newUnmodifiedPath(r *Router) *unmodifiedPath {
@@ -33,29 +43,77 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 	u.softint = r.CPU.NewTask("netisr", cpu.IPLSoft, 0, cpu.ClassSoft)
 	u.softint.SetCenter(prov.CenterIPInput)
 
-	for _, in := range r.Ins {
-		in := in
-		task := r.CPU.NewTask("rxintr."+in.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
-		task.SetCenter(prov.CenterRxIntr)
-		u.rxTasks = append(u.rxTasks, task)
-		// The hardware interrupt: pay the dispatch cost, then start the
-		// batched per-packet loop.
-		in.SetRxInterrupt(func() {
-			task.Post(u.r.Cfg.Costs.IntrDispatch, func() { u.rxLoop(in, task) })
-		})
+	if r.smp() {
+		u.initSMP()
+	} else {
+		for _, in := range r.Ins {
+			in := in
+			task := r.CPU.NewTask("rxintr."+in.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
+			task.SetCenter(prov.CenterRxIntr)
+			u.rxTasks = append(u.rxTasks, task)
+			// The hardware interrupt: pay the dispatch cost, then start
+			// the batched per-packet loop.
+			in.SetRxInterrupt(func() {
+				task.Post(u.r.Cfg.Costs.IntrDispatch, func() { u.rxLoop(in, task) })
+			})
+		}
 	}
 
 	// Every port that can transmit gets a device-IPL transmit-complete
-	// handler.
+	// handler (on the boot CPU: output interfaces are not steered).
 	for _, port := range r.ports {
 		port := port
 		port.txTask = r.CPU.NewTask("txintr."+port.nic.Name(), cpu.IPLDevice, 0, cpu.ClassIntr)
 		port.txTask.SetCenter(prov.CenterTxIntr)
-		port.nic.SetTxInterrupt(func() {
-			port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoop(port) })
-		})
+		if r.smp() {
+			port.nic.SetTxInterrupt(func() {
+				port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoopSMP(port) })
+			})
+		} else {
+			port.nic.SetTxInterrupt(func() {
+				port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoop(port) })
+			})
+		}
 	}
 	return u
+}
+
+// initSMP builds the N-core receive topology: per-core netisrs, and one
+// device-IPL task per (input NIC, rx queue) pair placed round-robin
+// across cores by global queue index — the MSI-style IRQ steering.
+func (u *unmodifiedPath) initSMP() {
+	r := u.r
+	n := r.Sys.N()
+	u.softints = make([]*cpu.Task, n)
+	u.softSched = make([]bool, n)
+	u.softRun = make([]func(), n)
+	u.softints[0] = u.softint
+	for k := 1; k < n; k++ {
+		t := r.Sys.CPU(k).NewTask(fmt.Sprintf("netisr.%d", k), cpu.IPLSoft, 0, cpu.ClassSoft)
+		t.SetCenter(prov.CenterIPInput)
+		u.softints[k] = t
+	}
+	for k := range u.softRun {
+		k := k
+		u.softRun[k] = func() { u.softLoopSMP(k) }
+	}
+	gidx := 0
+	for _, in := range r.Ins {
+		in := in
+		for q := 0; q < in.RxQueues(); q++ {
+			q := q
+			core := gidx % n
+			task := r.Sys.CPU(core).NewTask(
+				fmt.Sprintf("rxintr.%s.q%d", in.Name(), q),
+				cpu.IPLDevice, 0, cpu.ClassIntr)
+			task.SetCenter(prov.CenterRxIntr)
+			u.rxTasks = append(u.rxTasks, task)
+			in.SetRxQueueInterrupt(q, func() {
+				task.Post(u.r.Cfg.Costs.IntrDispatch, func() { u.rxLoopSMP(in, q, task, core) })
+			})
+			gidx++
+		}
+	}
 }
 
 // registerMetrics registers the interrupt-driven path's instruments.
@@ -64,7 +122,16 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 // cleanly against polled ones.
 func (u *unmodifiedPath) registerMetrics(reg *metrics.Registry) {
 	must := metrics.MustRegister
-	must(reg.Gauge("netisr.pending", func() float64 { return float64(u.softint.Pending()) }))
+	must(reg.Gauge("netisr.pending", func() float64 {
+		if u.softints == nil {
+			return float64(u.softint.Pending())
+		}
+		var pend int
+		for _, t := range u.softints {
+			pend += t.Pending()
+		}
+		return float64(pend)
+	}))
 	must(reg.Counter("poller.wakeups", nil))
 	must(reg.Counter("poller.rounds", nil))
 	must(reg.Counter("poller.rx", nil))
@@ -185,5 +252,112 @@ func (u *unmodifiedPath) txLoop(port *netPort) {
 	port.txTask.Post(u.r.Cfg.Costs.TxDevicePerPkt, func() {
 		u.r.ifStart(port)
 		u.txLoop(port)
+	})
+}
+
+// The SMP variants below split each per-packet cost into an unlocked
+// body and a LockOp-sized locked tail, so the per-packet total is
+// unchanged from the uniprocessor path — what an N-core run adds is
+// only spin time on the shared queues, charged to prov.CenterLock.
+
+// rxLoopSMP is rxLoop for one steered rx queue: the ipintrq enqueue
+// happens under r.ipqLock, and the netisr raised is the one on this
+// handler's own core.
+func (u *unmodifiedPath) rxLoopSMP(in *nic.NIC, q int, task *cpu.Task, core int) {
+	p := in.TakeRxQueue(q)
+	if p == nil {
+		in.RxQueueIntrDone(q)
+		return
+	}
+	c := u.r.Cfg.Costs
+	body := u.rxPktCost() - c.LockOp
+	if body < 0 {
+		body = 0
+	}
+	task.Post(body, func() {
+		u.r.invest(p, prov.CenterRxIntr, body)
+		u.r.tapMonitor(p)
+	})
+	task.PostLocked(u.r.ipqLock, c.LockOp, prov.CenterRxIntr, func() {
+		u.r.invest(p, prov.CenterRxIntr, c.LockOp)
+		if u.r.ipintrq.Enqueue(p) {
+			u.r.observe(prov.StageIPIntrQEnqueue, p)
+			u.schedNetisrOn(core)
+		} else {
+			u.r.drop(p, prov.ReasonIPIntrQFull)
+			p.Release()
+		}
+		if u.r.Cfg.DisableBatching {
+			in.RxQueueIntrDone(q)
+			return
+		}
+		u.rxLoopSMP(in, q, task, core)
+	})
+}
+
+// schedNetisrOn raises core's network software interrupt if it is not
+// already pending there.
+func (u *unmodifiedPath) schedNetisrOn(core int) {
+	if u.softSched[core] {
+		return
+	}
+	u.softSched[core] = true
+	u.softints[core].Post(u.r.Cfg.Costs.SoftintDispatch, u.softRun[core])
+}
+
+// softLoopSMP forwards one packet per round on core's netisr: dequeue
+// under ipqLock (another core may have drained the queue since this
+// round was scheduled), the forwarding body unlocked, then the
+// output-side work under netLock.
+func (u *unmodifiedPath) softLoopSMP(core int) {
+	r := u.r
+	if r.ipintrq.Empty() {
+		u.softSched[core] = false
+		return
+	}
+	c := r.Cfg.Costs
+	t := u.softints[core]
+	body := u.fwdPktCost() - 2*c.LockOp
+	if body < 0 {
+		body = 0
+	}
+	var p *netstack.Packet
+	t.PostLocked(r.ipqLock, c.LockOp, prov.CenterIPInput, func() {
+		p = r.ipintrq.Dequeue()
+		if p != nil {
+			r.invest(p, prov.CenterIPInput, c.LockOp)
+		}
+	})
+	t.Post(body, func() {
+		if p != nil {
+			r.invest(p, prov.CenterIPInput, body)
+		}
+	})
+	t.PostLocked(r.netLock, c.LockOp, prov.CenterIPInput, func() {
+		if p != nil {
+			r.invest(p, prov.CenterIPInput, c.LockOp)
+			r.observe(prov.StageSoftIPInput, p)
+			u.deliverIP(p)
+		}
+		u.softLoopSMP(core)
+	})
+}
+
+// txLoopSMP is txLoop with the ifStart refill under netLock (the output
+// ifqueue is shared with every core's netisr).
+func (u *unmodifiedPath) txLoopSMP(port *netPort) {
+	if !port.nic.ReclaimTx() {
+		port.nic.TxIntrDone()
+		return
+	}
+	c := u.r.Cfg.Costs
+	body := c.TxDevicePerPkt - c.LockOp
+	if body < 0 {
+		body = 0
+	}
+	port.txTask.Post(body, nil)
+	port.txTask.PostLocked(u.r.netLock, c.LockOp, prov.CenterTxIntr, func() {
+		u.r.ifStart(port)
+		u.txLoopSMP(port)
 	})
 }

@@ -16,7 +16,15 @@ import (
 // "delivered" delta goes to zero — the CPU is busier than ever doing
 // work that is all eventually thrown away.
 func RegisterCPU(reg *Registry, c *cpu.CPU) error {
-	if err := reg.Utilization("cpu.idle.util", c.IdleTime); err != nil {
+	return RegisterCPUPrefixed(reg, c, "cpu.")
+}
+
+// RegisterCPUPrefixed registers the same instrument set under an
+// arbitrary column prefix (e.g. "cpu1." for core 1 of an SMP
+// configuration); RegisterCPU is the prefix "cpu." special case, so
+// uniprocessor timelines keep their historical column names.
+func RegisterCPUPrefixed(reg *Registry, c *cpu.CPU, prefix string) error {
+	if err := reg.Utilization(prefix+"idle.util", c.IdleTime); err != nil {
 		return err
 	}
 	classes := []cpu.Class{
@@ -25,7 +33,7 @@ func RegisterCPU(reg *Registry, c *cpu.CPU) error {
 	}
 	for _, cl := range classes {
 		cl := cl
-		err := reg.Utilization("cpu."+cl.String()+".util", func() sim.Duration {
+		err := reg.Utilization(prefix+cl.String()+".util", func() sim.Duration {
 			return c.ClassTime(cl)
 		})
 		if err != nil {
@@ -35,25 +43,25 @@ func RegisterCPU(reg *Registry, c *cpu.CPU) error {
 	levels := []cpu.IPL{cpu.IPLThread, cpu.IPLSoft, cpu.IPLDevice, cpu.IPLClock}
 	for _, l := range levels {
 		l := l
-		err := reg.Utilization("cpu.ipl."+l.String()+".util", func() sim.Duration {
+		err := reg.Utilization(prefix+"ipl."+l.String()+".util", func() sim.Duration {
 			return c.IPLTime(l)
 		})
 		if err != nil {
 			return err
 		}
 	}
-	if err := reg.Utilization("cpu.rxipl.util", func() sim.Duration {
+	if err := reg.Utilization(prefix+"rxipl.util", func() sim.Duration {
 		return c.IPLTime(cpu.IPLDevice) + c.IPLTime(cpu.IPLSoft)
 	}); err != nil {
 		return err
 	}
-	if err := reg.Utilization("cpu.raisedipl.util", c.RaisedIPLTime); err != nil {
+	if err := reg.Utilization(prefix+"raisedipl.util", c.RaisedIPLTime); err != nil {
 		return err
 	}
-	if err := reg.CounterFunc("cpu.dispatches", c.Dispatches); err != nil {
+	if err := reg.CounterFunc(prefix+"dispatches", c.Dispatches); err != nil {
 		return err
 	}
-	if err := reg.CounterFunc("cpu.preemptions", c.Preemptions); err != nil {
+	if err := reg.CounterFunc(prefix+"preemptions", c.Preemptions); err != nil {
 		return err
 	}
 	// Per-cost-center utilization: the cycle-attribution view. Together
@@ -62,7 +70,7 @@ func RegisterCPU(reg *Registry, c *cpu.CPU) error {
 	// is answerable from the timeline alone.
 	for ct := prov.Center(0); ct < prov.NumCenters; ct++ {
 		ct := ct
-		err := reg.Utilization("cpu.center."+ct.String()+".util", func() sim.Duration {
+		err := reg.Utilization(prefix+"center."+ct.String()+".util", func() sim.Duration {
 			return c.CenterTime(ct)
 		})
 		if err != nil {

@@ -21,6 +21,13 @@ type Config struct {
 	// reusable after driver code reclaims it — the dependency behind
 	// transmit starvation (§4.4, §6.6).
 	TxRing int
+	// RxQueues is the number of receive queues (0 and 1 both mean a
+	// single queue, the classic NIC). With more than one queue the
+	// device steers arriving flows RSS-style — a deterministic hash of
+	// the IPv4 5-tuple picks the queue — and each queue has its own
+	// RxRing-sized ring and its own MSI-like interrupt, so an SMP host
+	// can give every queue to a different core.
+	RxQueues int
 }
 
 // DefaultConfig matches the simulated testbed.
@@ -36,14 +43,13 @@ type NIC struct {
 	cfg  Config
 	wire *Wire // output wire; nil for receive-only interfaces
 
-	// Receive side.
-	rxRing     []*netstack.Packet
-	rxHead     int
-	rxCount    int
+	// Receive side: one or more queues, each with its own ring and
+	// interrupt latch. The interrupt-enable flag, stall state, and
+	// fault hooks are device-wide.
+	rxq        []rxQueue
+	rxq1       [1]rxQueue // backs rxq when there is a single queue
 	rxEnabled  bool
-	rxPending  bool
 	rxStalled  bool
-	onRxIntr   func()
 	loseRxIntr func() bool
 
 	// Transmit side. Descriptors: queued (awaiting wire) + inFlight +
@@ -83,14 +89,27 @@ type NIC struct {
 	OnResetDrop func(*netstack.Packet)
 }
 
+// rxQueue is one receive queue: a DMA ring plus an MSI-like interrupt
+// latch. Single-queue NICs have exactly one.
+type rxQueue struct {
+	ring    []*netstack.Packet
+	head    int
+	count   int
+	pending bool
+	onIntr  func()
+}
+
 // New returns a NIC. wire may be nil if the interface never transmits.
 func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire) *NIC {
 	if cfg.RxRing <= 0 || cfg.TxRing <= 0 {
 		panic("nic: ring sizes must be positive")
 	}
-	return &NIC{
+	queues := cfg.RxQueues
+	if queues < 1 {
+		queues = 1
+	}
+	n := &NIC{
 		name: name, eng: eng, mac: mac, cfg: cfg, wire: wire,
-		rxRing:      make([]*netstack.Packet, cfg.RxRing),
 		rxEnabled:   true,
 		txEnabled:   true,
 		InPkts:      stats.NewCounter(name + ".ipkts"),
@@ -99,6 +118,15 @@ func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire)
 		StallDrops:  stats.NewCounter(name + ".stalldrops"),
 		LostRxIntrs: stats.NewCounter(name + ".lostintrs"),
 	}
+	if queues == 1 {
+		n.rxq = n.rxq1[:] // the struct-embedded queue: no extra allocation
+	} else {
+		n.rxq = make([]rxQueue, queues)
+	}
+	for i := range n.rxq {
+		n.rxq[i].ring = make([]*netstack.Packet, cfg.RxRing)
+	}
+	return n
 }
 
 // Name returns the interface name.
@@ -118,7 +146,7 @@ func (n *NIC) RegisterMetrics(reg *metrics.Registry) error {
 	if err := reg.Counter(n.name+".opkts", n.OutPkts); err != nil {
 		return err
 	}
-	if err := reg.Gauge(n.name+".rxring", func() float64 { return float64(n.rxCount) }); err != nil {
+	if err := reg.Gauge(n.name+".rxring", func() float64 { return float64(n.RxLen()) }); err != nil {
 		return err
 	}
 	if err := reg.Gauge(n.name+".txfree", func() float64 { return float64(n.TxDescriptorsFree()) }); err != nil {
@@ -135,15 +163,29 @@ func (n *NIC) String() string { return fmt.Sprintf("nic(%s)", n.name) }
 
 // --- receive side ---
 
+// RxQueues returns the number of receive queues.
+func (n *NIC) RxQueues() int { return len(n.rxq) }
+
 // SetRxInterrupt installs the receive-interrupt callback (the "interrupt
-// wire" into the CPU). The callback is invoked at most once per
-// assertion; the driver must call RxIntrDone when it has drained the
-// ring so a later arrival can assert again.
-func (n *NIC) SetRxInterrupt(fn func()) { n.onRxIntr = fn }
+// wire" into the CPU) on every queue. The callback is invoked at most
+// once per assertion per queue; the driver must call RxIntrDone (or
+// RxQueueIntrDone) when it has drained the ring so a later arrival can
+// assert again.
+func (n *NIC) SetRxInterrupt(fn func()) {
+	for q := range n.rxq {
+		n.rxq[q].onIntr = fn
+	}
+}
+
+// SetRxQueueInterrupt installs the MSI-like interrupt callback for one
+// receive queue — how an SMP host steers each queue's interrupts to its
+// own core.
+func (n *NIC) SetRxQueueInterrupt(q int, fn func()) { n.rxq[q].onIntr = fn }
 
 // DeliverFrame implements Receiver: a frame has arrived from the wire.
-// If the ring is full the frame is dropped by the hardware at zero CPU
-// cost — the cheapest possible place to drop, as §6.4 emphasizes.
+// Multi-queue NICs steer it by the RSS flow hash; if the target ring is
+// full the frame is dropped by the hardware at zero CPU cost — the
+// cheapest possible place to drop, as §6.4 emphasizes.
 func (n *NIC) DeliverFrame(p *netstack.Packet) {
 	if n.rxStalled {
 		// A fault-stalled device loses arriving frames silently; the
@@ -156,7 +198,8 @@ func (n *NIC) DeliverFrame(p *netstack.Packet) {
 		p.Release()
 		return
 	}
-	if n.rxCount == n.cfg.RxRing {
+	rq := &n.rxq[n.rssQueue(p.Data)]
+	if rq.count == n.cfg.RxRing {
 		n.InDiscards.Inc()
 		if n.OnRxDrop != nil {
 			n.OnRxDrop(p)
@@ -165,26 +208,61 @@ func (n *NIC) DeliverFrame(p *netstack.Packet) {
 		return
 	}
 	p.EnqueuedNIC = n.eng.Now()
-	n.rxRing[(n.rxHead+n.rxCount)%n.cfg.RxRing] = p
-	n.rxCount++
+	rq.ring[(rq.head+rq.count)%n.cfg.RxRing] = p
+	rq.count++
 	n.InPkts.Inc()
 	if n.OnRxAccept != nil {
 		n.OnRxAccept(p)
 	}
-	n.maybeRaiseRx()
+	n.maybeRaiseRx(rq)
 }
 
-func (n *NIC) maybeRaiseRx() {
-	if n.rxEnabled && !n.rxPending && n.rxCount > 0 && n.onRxIntr != nil {
+// rssQueue picks the receive queue for a frame: FNV-1a over the IPv4
+// 5-tuple (src/dst address, protocol, and — for unfragmented TCP/UDP —
+// the port pair), mod the queue count. Fragments hash without ports so
+// every fragment of a datagram lands on one queue; non-IPv4 and
+// truncated frames go to queue 0. The hash is a pure function of the
+// bytes, so steering is deterministic.
+func (n *NIC) rssQueue(frame []byte) int {
+	if len(n.rxq) == 1 {
+		return 0
+	}
+	const ipOff = netstack.EthHeaderLen
+	if len(frame) < ipOff+netstack.IPv4HeaderLen ||
+		netstack.EtherType(uint16(frame[12])<<8|uint16(frame[13])) != netstack.EtherTypeIPv4 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range frame[ipOff+12 : ipOff+20] { // src + dst address
+		h = (h ^ uint64(b)) * prime64
+	}
+	proto := frame[ipOff+9]
+	h = (h ^ uint64(proto)) * prime64
+	fragOff := uint16(frame[ipOff+6])<<8 | uint16(frame[ipOff+7])
+	unfragmented := fragOff&0x3fff == 0 // no offset, no more-fragments
+	if unfragmented && (proto == 6 || proto == 17) && len(frame) >= ipOff+netstack.IPv4HeaderLen+4 {
+		for _, b := range frame[ipOff+netstack.IPv4HeaderLen : ipOff+netstack.IPv4HeaderLen+4] {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return int(h % uint64(len(n.rxq)))
+}
+
+func (n *NIC) maybeRaiseRx(rq *rxQueue) {
+	if n.rxEnabled && !rq.pending && rq.count > 0 && rq.onIntr != nil {
 		if n.loseRxIntr != nil && n.loseRxIntr() {
-			// The assertion is lost but rxPending stays false, so the
+			// The assertion is lost but the latch stays clear, so the
 			// next arrival (or interrupt enable) retries; a lost
 			// interrupt delays service, it does not wedge the device.
 			n.LostRxIntrs.Inc()
 			return
 		}
-		n.rxPending = true
-		n.onRxIntr()
+		rq.pending = true
+		rq.onIntr()
 	}
 }
 
@@ -216,41 +294,85 @@ func (n *NIC) ResetRx() int {
 	return count
 }
 
-// RxPending reports whether a receive interrupt is asserted.
-func (n *NIC) RxPending() bool { return n.rxPending }
+// RxPending reports whether any queue's receive interrupt is asserted.
+func (n *NIC) RxPending() bool {
+	for q := range n.rxq {
+		if n.rxq[q].pending {
+			return true
+		}
+	}
+	return false
+}
 
-// RxLen returns the receive-ring occupancy.
-func (n *NIC) RxLen() int { return n.rxCount }
+// RxQueuePending reports whether queue q's interrupt is asserted.
+func (n *NIC) RxQueuePending(q int) bool { return n.rxq[q].pending }
 
-// TakeRx removes and returns the oldest received frame, or nil if the
-// ring is empty.
+// RxLen returns the total receive-ring occupancy across queues.
+func (n *NIC) RxLen() int {
+	total := 0
+	for q := range n.rxq {
+		total += n.rxq[q].count
+	}
+	return total
+}
+
+// RxQueueLen returns queue q's ring occupancy.
+func (n *NIC) RxQueueLen(q int) int { return n.rxq[q].count }
+
+// TakeRx removes and returns the oldest received frame from the first
+// non-empty queue (queues scanned in index order), or nil if all rings
+// are empty.
 func (n *NIC) TakeRx() *netstack.Packet {
-	if n.rxCount == 0 {
+	for q := range n.rxq {
+		if p := n.TakeRxQueue(q); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// TakeRxQueue removes and returns the oldest received frame from queue
+// q, or nil if that ring is empty.
+func (n *NIC) TakeRxQueue(q int) *netstack.Packet {
+	rq := &n.rxq[q]
+	if rq.count == 0 {
 		return nil
 	}
-	p := n.rxRing[n.rxHead]
-	n.rxRing[n.rxHead] = nil
-	n.rxHead = (n.rxHead + 1) % n.cfg.RxRing
-	n.rxCount--
+	p := rq.ring[rq.head]
+	rq.ring[rq.head] = nil
+	rq.head = (rq.head + 1) % n.cfg.RxRing
+	rq.count--
 	return p
 }
 
 // RxIntrDone tells the NIC the driver has finished servicing the
-// current receive interrupt. If frames remain (or arrived meanwhile) and
-// interrupts are enabled, a new interrupt is asserted immediately.
+// current receive interrupt on every queue. If frames remain (or
+// arrived meanwhile) and interrupts are enabled, a new interrupt is
+// asserted immediately.
 func (n *NIC) RxIntrDone() {
-	n.rxPending = false
-	n.maybeRaiseRx()
+	for q := range n.rxq {
+		n.RxQueueIntrDone(q)
+	}
 }
 
-// EnableRxInterrupt sets the receive interrupt-enable flag. Enabling
-// with frames pending asserts an interrupt at once — the modified
-// kernel's drivers re-enable through this and immediately hear about any
-// backlog (§6.4).
+// RxQueueIntrDone acknowledges queue q's interrupt, re-asserting at
+// once if its ring is non-empty.
+func (n *NIC) RxQueueIntrDone(q int) {
+	rq := &n.rxq[q]
+	rq.pending = false
+	n.maybeRaiseRx(rq)
+}
+
+// EnableRxInterrupt sets the device-wide receive interrupt-enable flag.
+// Enabling with frames pending asserts an interrupt at once — the
+// modified kernel's drivers re-enable through this and immediately hear
+// about any backlog (§6.4).
 func (n *NIC) EnableRxInterrupt(on bool) {
 	n.rxEnabled = on
 	if on {
-		n.maybeRaiseRx()
+		for q := range n.rxq {
+			n.maybeRaiseRx(&n.rxq[q])
+		}
 	}
 }
 
@@ -354,7 +476,7 @@ func (n *NIC) TxPending() bool { return n.txPending }
 // Quiesced reports whether the NIC holds no packets and no unreclaimed
 // descriptors, used by teardown conservation checks.
 func (n *NIC) Quiesced() bool {
-	return n.rxCount == 0 && len(n.txQueue) == 0 && n.txInFlight == 0 && n.txCompleted == 0
+	return n.RxLen() == 0 && len(n.txQueue) == 0 && n.txInFlight == 0 && n.txCompleted == 0
 }
 
 // Drain releases every packet held in the rings and returns how many

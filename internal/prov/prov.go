@@ -50,13 +50,19 @@ const (
 	CenterPollOverhead
 	// CenterClock is hardclock and periodic housekeeping.
 	CenterClock
+	// CenterLock is time burned spinning on a contended kernel lock
+	// (SMP only): cycles the CPU was busy but made no forward progress.
+	// Charging spin separately is what lets the profiler show livelock
+	// reappearing as lock contention when several cores hammer one
+	// shared queue.
+	CenterLock
 	// NumCenters sizes per-center accounting arrays.
 	NumCenters
 )
 
 var centerSlugs = [NumCenters]string{
 	"unattributed", "rx-intr", "tx-intr", "ip-input", "screend",
-	"output", "userproc", "poll-overhead", "clock",
+	"output", "userproc", "poll-overhead", "clock", "lock",
 }
 
 // String returns the center's slug (used in metric column names and

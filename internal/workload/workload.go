@@ -94,6 +94,14 @@ type Config struct {
 	SrcIP, DstIP netstack.Addr
 	// SrcPort/DstPort are the UDP ports.
 	SrcPort, DstPort uint16
+	// SrcPortSpread, when > 1, cycles the source port over
+	// [SrcPort, SrcPort+SrcPortSpread) one step per datagram, turning
+	// the single flow into SrcPortSpread interleaved flows. The cycle is
+	// counter-based — no RNG draws — so a spread of 0 or 1 leaves the
+	// packet stream byte-identical to a fixed-port generator. SMP
+	// configurations use this to give the NIC's RSS hash flows to
+	// spread across queues.
+	SrcPortSpread int
 	// PayloadBytes is the UDP payload size (paper: 4 bytes, giving
 	// minimum-size frames).
 	PayloadBytes int
@@ -229,10 +237,14 @@ func (g *Generator) pickPayload() []byte {
 }
 
 func (g *Generator) sendOne() {
+	srcPort := g.cfg.SrcPort
+	if g.cfg.SrcPortSpread > 1 {
+		srcPort += uint16(g.Datagrams.Value() % uint64(g.cfg.SrcPortSpread))
+	}
 	spec := netstack.FrameSpec{
 		SrcMAC: g.cfg.SrcMAC, DstMAC: g.cfg.DstMAC,
 		SrcIP: g.cfg.SrcIP, DstIP: g.cfg.DstIP,
-		SrcPort: g.cfg.SrcPort, DstPort: g.cfg.DstPort,
+		SrcPort: srcPort, DstPort: g.cfg.DstPort,
 		IPID:    g.ipid,
 		Payload: g.pickPayload(),
 		// The paper's packets carry 4 bytes of UDP data; checksum on.
