@@ -79,12 +79,12 @@ fuzz:
 	done
 
 # Exhaust every built-in exploration scenario: enumerate all bounded
-# interleavings and fault outcomes, checking the six livelock-freedom
+# interleavings and fault outcomes, checking the seven livelock-freedom
 # invariants in every reachable state (see DESIGN.md §9). Fails on the
 # first scenario with a violation; counterexample scripts are dumped
 # under explore-artifacts/ for replay with lkexplore -replay.
 explore:
-	for sc in intrloss feedback cyclelimit; do \
+	for sc in intrloss feedback cyclelimit smpcontend coalesce; do \
 		$(GO) run ./cmd/lkexplore -scenario $$sc -dump explore-artifacts || exit 1; \
 	done
 

@@ -21,9 +21,11 @@ import (
 
 	"livelock/internal/cpu"
 	"livelock/internal/experiment"
+	"livelock/internal/fault"
 	"livelock/internal/kernel"
 	"livelock/internal/metrics"
 	"livelock/internal/netstack"
+	"livelock/internal/nic"
 	"livelock/internal/prof"
 	"livelock/internal/queue"
 	"livelock/internal/sim"
@@ -533,6 +535,51 @@ func BenchmarkSimulatedSecondSMP4(b *testing.B) {
 		gen.Start()
 		eng.Run(sim.Time(sim.Second))
 	}
+}
+
+// BenchmarkSimulatedSecondCoalesceSACK is the SimulatedSecond twin on
+// the T-figure path (EXPERIMENTS.md): count-8 interrupt coalescing
+// with a 5 ms holdoff, the reorder + drop wire faults, and a SACK bulk
+// transfer with a resequencing receiver driving the load instead of
+// the open-loop generator. The delta against BenchmarkSimulatedSecond
+// is the enabled cost of the coalescing timers, the reorder hold
+// queue, and the TCP machinery together; with all of them configured
+// off, their hot-path cost is zero, which the SimulatedSecond 2% band
+// pins.
+func BenchmarkSimulatedSecondCoalesceSACK(b *testing.B) {
+	// One throwaway iteration hoists the TCP path's lazy one-time
+	// initialization out of the measurement, keeping allocs/op exact
+	// (the gate's alloc bound) at any iteration count.
+	simulatedSecondCoalesceSACK()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulatedSecondCoalesceSACK()
+	}
+}
+
+func simulatedSecondCoalesceSACK() {
+	eng := sim.NewEngine()
+	cfg := kernel.Config{Mode: kernel.ModePolled, Quota: 5, Seed: 1}
+	cfg.NIC.Coalesce = nic.CoalesceConfig{Policy: nic.CoalesceCount,
+		CountThresh: 8, TimerThresh: 5 * sim.Millisecond}
+	cfg.Fault = fault.Config{
+		DropProb:     0.02,
+		ReorderProb:  0.05,
+		ReorderSpan:  4,
+		ReorderMode:  fault.ReorderDisplace,
+		ReorderFlush: 8 * sim.Millisecond,
+	}
+	r := kernel.NewRouter(eng, cfg)
+	rx := r.OpenTCPReceiver(8080)
+	rx.EnableSACK()
+	rx.SetResequencing(8 * sim.Millisecond)
+	snd := r.AttachTCPSender(0, kernel.TCPSenderConfig{
+		Port: 8080, MSS: 512, Variant: kernel.VariantSACK,
+		MaxCwnd: 16, RTO: 50 * sim.Millisecond,
+	})
+	snd.Start()
+	eng.Run(sim.Time(sim.Second))
 }
 
 // BenchmarkAblationScreendRules scales the screend rule list (§5.4:

@@ -39,7 +39,7 @@ import (
 const defaultBenchRegexp = "^(BenchmarkEngineEvents|BenchmarkEngineEventsCall|" +
 	"BenchmarkCPUDispatch|BenchmarkQueueOps|BenchmarkPoolGetPut|" +
 	"BenchmarkSamplerTick|BenchmarkSimulatedSecond|BenchmarkSimulatedSecondProfiled|" +
-	"BenchmarkSimulatedSecondSMP4)$"
+	"BenchmarkSimulatedSecondSMP4|BenchmarkSimulatedSecondCoalesceSACK)$"
 
 // defaultTight is the default per-benchmark threshold override: the
 // full-router benchmark runs with the cycle-attribution profiler

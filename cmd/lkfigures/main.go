@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("lkfigures", flag.ContinueOnError)
 	fs.SetOutput(w)
-	figID := fs.String("fig", "all", `figure to run: 6-1, 6-3, 6-4, 6-5, 6-6, 7-1, W-1, S-1, S-2, "latency", "mlfrr", "clocked", "tcp" or "all"`)
+	figID := fs.String("fig", "all", `figure to run: 6-1, 6-3, 6-4, 6-5, 6-6, 7-1, W-1, S-1, S-2, T-1, T-2, "latency", "mlfrr", "clocked", "tcp" or "all"`)
 	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
 	asPlot := fs.Bool("plot", false, "render text scatter plots instead of tables")
 	outDir := fs.String("out", "", "directory for per-figure CSV files (implies -csv)")

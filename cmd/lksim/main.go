@@ -19,6 +19,8 @@ import (
 
 	"livelock"
 	"livelock/internal/cpu"
+	"livelock/internal/fault"
+	"livelock/internal/nic"
 )
 
 func main() {
@@ -52,6 +54,10 @@ func run(args []string, w io.Writer) error {
 	faultCorrupt := fs.Float64("fault-corrupt", 0, "wire fault: per-frame bit-corruption probability")
 	faultDup := fs.Float64("fault-dup", 0, "wire fault: per-frame duplication probability")
 	faultDelay := fs.Float64("fault-delay", 0, "wire fault: per-frame extra-delay probability (reordering)")
+	faultReorder := fs.Float64("fault-reorder", 0, "wire fault: per-frame reorder-hold probability")
+	faultReorderSpan := fs.Int("fault-reorder-span", 0, "wire fault: frames a held frame is displaced past (0 = default 3)")
+	faultReorderMode := fs.String("fault-reorder-mode", "displace", "wire fault: reorder model, displace or swap")
+	faultReorderFlush := fs.Duration("fault-reorder-flush", 0, "wire fault: max hold before a displaced frame is released (0 = default 1ms)")
 	faultStall := fs.Duration("fault-stall", 0, "device fault: rx stall window length (0 = off)")
 	faultStallPeriod := fs.Duration("fault-stall-period", 100*time.Millisecond, "device fault: rx stall window period")
 	faultReset := fs.Bool("fault-reset", false, "device fault: discard the rx ring when a stall window opens")
@@ -59,8 +65,19 @@ func run(args []string, w io.Writer) error {
 	faultPause := fs.Duration("fault-screend-pause", 0, "process fault: screend pause window length (0 = off)")
 	faultPausePeriod := fs.Duration("fault-screend-pause-period", 100*time.Millisecond, "process fault: screend pause period")
 	faultSeed := fs.Uint64("fault-seed", 0, "fault RNG seed perturbation (0 derives from -seed)")
+	coalesce := fs.String("coalesce", "immediate", "rx interrupt coalescing policy: immediate, count, timer, adaptive")
+	coalesceCount := fs.Int("coalesce-count", 0, "coalescing packet-count threshold (0 = policy default)")
+	coalesceTimer := fs.Duration("coalesce-timer", 0, "coalescing max holdoff after first unsignaled frame (0 = policy default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	policy, ok := nic.ParseCoalescePolicy(*coalesce)
+	if !ok {
+		return fmt.Errorf("unknown coalescing policy %q", *coalesce)
+	}
+	reorderMode, ok := fault.ParseReorderMode(*faultReorderMode)
+	if !ok {
+		return fmt.Errorf("unknown reorder mode %q", *faultReorderMode)
 	}
 
 	cfg := livelock.Config{
@@ -79,6 +96,10 @@ func run(args []string, w io.Writer) error {
 			CorruptProb:          *faultCorrupt,
 			DupProb:              *faultDup,
 			DelayProb:            *faultDelay,
+			ReorderProb:          *faultReorder,
+			ReorderSpan:          *faultReorderSpan,
+			ReorderMode:          reorderMode,
+			ReorderFlush:         livelock.Duration((*faultReorderFlush).Nanoseconds()),
 			StallPeriod:          livelock.Duration((*faultStallPeriod).Nanoseconds()),
 			StallDuration:        livelock.Duration((*faultStall).Nanoseconds()),
 			ResetOnStall:         *faultReset,
@@ -87,6 +108,11 @@ func run(args []string, w io.Writer) error {
 			ScreendPauseDuration: livelock.Duration((*faultPause).Nanoseconds()),
 			Seed:                 *faultSeed,
 		},
+	}
+	cfg.NIC.Coalesce = nic.CoalesceConfig{
+		Policy:      policy,
+		CountThresh: *coalesceCount,
+		TimerThresh: livelock.Duration((*coalesceTimer).Nanoseconds()),
 	}
 	if *faultStall <= 0 {
 		cfg.Fault.StallPeriod = 0
@@ -190,6 +216,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "  stall drops      %10d (fault: device stalled)\n", a.StallDrops)
 		fmt.Fprintf(w, "  reset drops      %10d (fault: rx ring reset)\n", a.ResetDrops)
 		fmt.Fprintf(w, "  duplicated       %10d (fault: extra copies)\n", a.Duplicated)
+		fmt.Fprintf(w, "  reordered        %10d (fault: displaced, not lost)\n", r.Fault().Reordered.Value())
 	}
 	fmt.Fprintf(w, "  still buffered   %10d\n", a.Alive)
 	if err := r.Audit(gen.Sent.Value()); err != nil {

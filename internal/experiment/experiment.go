@@ -418,7 +418,7 @@ func FigSMP2(o Options) Figure {
 func AllFigures(o Options) []Figure {
 	return []Figure{
 		Fig61(o), Fig63(o), Fig64(o), Fig65(o), Fig66(o), Fig71(o), FigWasted(o),
-		FigSMP1(o), FigSMP2(o),
+		FigSMP1(o), FigSMP2(o), FigT1(o), FigT2(o),
 	}
 }
 
@@ -443,6 +443,10 @@ func ByID(id string) func(Options) Figure {
 		return FigSMP1
 	case "S-2", "S2", "s-2", "s2":
 		return FigSMP2
+	case "T-1", "T1", "t-1", "t1":
+		return FigT1
+	case "T-2", "T2", "t-2", "t2":
+		return FigT2
 	default:
 		return nil
 	}

@@ -136,7 +136,7 @@ func TestRenderers(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "61", "fig6-1", "S-1", "S-2", "s1", "s2"} {
+	for _, id := range []string{"6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "61", "fig6-1", "S-1", "S-2", "s1", "s2", "T-1", "T-2", "t1", "t2"} {
 		if ByID(id) == nil {
 			t.Errorf("ByID(%q) = nil", id)
 		}

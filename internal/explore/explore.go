@@ -60,10 +60,17 @@ const (
 	// callbacks strictly alternate — exactly one firing per regime
 	// crossing.
 	InvHysteresis
+	// InvNoSpuriousRtx: no retransmission without a real or
+	// timer-signaled loss event. On any schedule where nothing was
+	// dropped anywhere and the adversary injected no reorder, the TCP
+	// sender's recovery machinery (fast retransmits, timeouts,
+	// retransmitted segments) must never fire. Vacuous for scenarios
+	// without a TCP flow.
+	InvNoSpuriousRtx
 
 	// InvAll enables every invariant.
 	InvAll InvariantSet = InvProgress | InvReenable | InvBudget |
-		InvConservation | InvHandles | InvHysteresis
+		InvConservation | InvHandles | InvHysteresis | InvNoSpuriousRtx
 )
 
 var invariantNames = []struct {
@@ -76,6 +83,7 @@ var invariantNames = []struct {
 	{InvConservation, "conservation"},
 	{InvHandles, "handles"},
 	{InvHysteresis, "hysteresis"},
+	{InvNoSpuriousRtx, "spurious-rtx"},
 }
 
 // String renders the set as a comma-separated list, or "all"/"none".

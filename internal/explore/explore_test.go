@@ -55,10 +55,11 @@ func TestExploreRegressions(t *testing.T) {
 
 // TestExploreExhaustsBuiltins proves the headline property: every
 // built-in scenario's bounded schedule space is fully enumerated and
-// every reachable state satisfies all six invariants. intrloss alone
+// every reachable state satisfies all seven invariants. intrloss alone
 // covers three concurrent sources with six interrupt-loss choice
 // points; feedback and cyclelimit add consumer pauses, stalls, and the
-// cycle limiter.
+// cycle limiter; coalesce adds interrupt-coalescing races, adversarial
+// reordering, and a TCP transfer.
 func TestExploreExhaustsBuiltins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full enumeration in short mode")
@@ -158,6 +159,96 @@ func TestExploreEnumeratesTies(t *testing.T) {
 	}
 }
 
+// TestExploreCoalesceScenario pins the coalesce scenario's exploration
+// shape: the space is exhausted with real branching (reorder choices ×
+// holdoff-expiry/count-trigger/arrival ties), no schedule violates any
+// invariant — in particular, on every branch the transfer completes and
+// the sender never retransmits without an injected reorder — and the
+// state-dedup cache earns its keep on the converging schedules.
+func TestExploreCoalesceScenario(t *testing.T) {
+	rep, err := Explore(mustScenario(t, "coalesce"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationCount != 0 {
+		t.Fatalf("%d violation(s); first: %+v", rep.ViolationCount, rep.Violations[0])
+	}
+	if !rep.Exhausted {
+		t.Fatalf("not exhausted within bounds (truncated=%v, executions=%d)",
+			rep.Truncated, rep.Executions)
+	}
+	// Two two-way reorder choices alone give four schedules; the
+	// coalescing and arrival ties multiply them.
+	if rep.Executions < 8 {
+		t.Fatalf("only %d executions: the coalescing/reorder races did not branch", rep.Executions)
+	}
+	if rep.DedupPrunes == 0 {
+		t.Error("no dedup prunes: converging schedules never collided in the state cache")
+	}
+}
+
+// TestExploreReorderChoiceBranches isolates the wire-reorder choice
+// point: with the background sources removed, the only concurrency left
+// is the adversary's hold-or-deliver decisions on the data wire and the
+// device races they cascade into — the explorer must still branch and
+// every branch must deliver the transfer and keep the ledger balanced
+// (a held frame is displaced, never lost).
+func TestExploreReorderChoiceBranches(t *testing.T) {
+	sc := mustScenario(t, "coalesce")
+	sc.Sources = 1 // TCP flow only; ReorderBudget=2 remains the sole fault
+	rep, err := Explore(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationCount != 0 {
+		t.Fatalf("%d violation(s); first: %+v", rep.ViolationCount, rep.Violations[0])
+	}
+	if !rep.Exhausted {
+		t.Fatalf("not exhausted (executions=%d)", rep.Executions)
+	}
+	if rep.Executions < 4 {
+		t.Fatalf("only %d executions: the reorder choice point never branched", rep.Executions)
+	}
+}
+
+// TestExploreDetectsSpuriousRtx proves the seventh invariant is not
+// vacuous: an RTO shorter than the coalescing holdoff plus the ACK
+// round trip makes the sender time out and retransmit with nothing
+// lost and nothing reordered — exactly the no-loss-signal recovery the
+// invariant forbids — and it must trip on the default schedule.
+func TestExploreDetectsSpuriousRtx(t *testing.T) {
+	sc := mustScenario(t, "coalesce")
+	sc.TCP.RTO = 100 * sim.Microsecond
+	rep, err := Explore(sc, Options{StopAtFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationCount == 0 {
+		t.Fatal("sub-RTT retransmission timeout produced no violation")
+	}
+	v := rep.Violations[0]
+	if v.Invariant != "spurious-rtx" {
+		t.Fatalf("expected a spurious-rtx violation, got %s: %s", v.Invariant, v.Detail)
+	}
+	// The counterexample must survive the corpus round trip and
+	// reproduce under Replay, like any other violation.
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeViolation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(sc, decoded, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Invariant != "spurious-rtx" {
+		t.Fatalf("replay did not reproduce the spurious-rtx violation: %+v", res.Violation)
+	}
+}
+
 func mustScenario(t *testing.T, name string) *Scenario {
 	t.Helper()
 	sc, err := ScenarioByName(name)
@@ -178,6 +269,7 @@ func TestParseInvariants(t *testing.T) {
 		{"progress", InvProgress, false},
 		{"progress,budget", InvProgress | InvBudget, false},
 		{"hysteresis, handles", InvHysteresis | InvHandles, false},
+		{"spurious-rtx", InvNoSpuriousRtx, false},
 		{"bogus", 0, true},
 	}
 	for _, c := range cases {

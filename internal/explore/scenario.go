@@ -27,6 +27,21 @@ type Scenario struct {
 	PacketsPerSource int
 	Gap              sim.Duration
 
+	// TCP, if non-nil, attaches a bulk transfer to the scenario: a
+	// receiver on the router and a sender on source 0, which then hosts
+	// no generator — the transport's ACK clock replaces the fixed-gap
+	// arrivals on that wire.
+	TCP *TCPFlow
+
+	// ReorderBudget arms the wire-reorder choice point on source 0's
+	// wire: each of the first ReorderBudget frames becomes a two-way
+	// choice — deliver in order, or hold until ReorderSpan later frames
+	// pass or ReorderFlush elapses. Displaced frames are never lost, so
+	// every branch must stay conservation-clean.
+	ReorderBudget int
+	ReorderSpan   int
+	ReorderFlush  sim.Duration
+
 	// IntrLossBudget arms the lost-receive-interrupt choice point on
 	// every input NIC, bounding each to that many two-way choices.
 	IntrLossBudget int
@@ -66,6 +81,18 @@ type Scenario struct {
 	Independent func(a, b string) bool
 }
 
+// TCPFlow configures a scenario's bulk TCP transfer (sender on source
+// 0, receiver on the router).
+type TCPFlow struct {
+	Port       uint16
+	TotalBytes uint64
+	MSS        int
+	Variant    kernel.TCPVariant
+	MaxCwnd    int
+	RTO        sim.Duration
+	Resequence sim.Duration // receiver-side sorting hold (0 = off)
+}
+
 func (sc *Scenario) validate() error {
 	switch {
 	case sc.Name == "":
@@ -88,6 +115,10 @@ func (sc *Scenario) validate() error {
 		return fmt.Errorf("explore: %s: pause probes without a pause duration", sc.Name)
 	case len(sc.PauseProbes) > 0 && !sc.Config.Screend:
 		return fmt.Errorf("explore: %s: pause probes need a screend", sc.Name)
+	case sc.TCP != nil && sc.TCP.TotalBytes == 0:
+		return fmt.Errorf("explore: %s: TCP flow without a transfer size", sc.Name)
+	case sc.ReorderBudget > 0 && (sc.ReorderSpan <= 0 || sc.ReorderFlush <= 0):
+		return fmt.Errorf("explore: %s: reorder budget without a span and flush", sc.Name)
 	}
 	return nil
 }
@@ -208,6 +239,45 @@ func Scenarios() []*Scenario {
 			Horizon:            2 * ms,
 			Drain:              10 * ms,
 			ProgressWindow:     3 * ms,
+			MaxPendingEvents:   64,
+			MaxQuiescentEvents: 8,
+			Independent:        EmitIndependent,
+		},
+		{
+			Name: "coalesce",
+			Desc: "a SACK bulk transfer and 2 tying background sources into the polled " +
+				"kernel with count+timer interrupt coalescing and an adversarial reorder " +
+				"hold on the data wire: every interleaving of timer expiry, count trigger, " +
+				"and displaced segments must conserve frames, finish the transfer, and " +
+				"never retransmit without a loss signal",
+			Config: kernel.Config{
+				Mode:  kernel.ModePolled,
+				Quota: 4,
+				NIC: nic.Config{RxRing: 8, TxRing: 8,
+					Coalesce: nic.CoalesceConfig{Policy: nic.CoalesceCount,
+						CountThresh: 2, TimerThresh: 170 * us}},
+				OutQueueLimit: 8,
+				ClockTick:     1 * ms,
+				PoolBuffers:   64,
+				Seed:          1,
+			},
+			Sources:          3,
+			PacketsPerSource: 2,
+			// Gap equals the coalescing timer threshold, so a queue's
+			// holdoff expiry ties with the next arrival: the explorer
+			// orders timer-fire against count-trigger both ways.
+			Gap: 170 * us,
+			TCP: &TCPFlow{
+				Port: 8080, TotalBytes: 1024, MSS: 256,
+				Variant: kernel.VariantSACK, MaxCwnd: 4,
+				RTO: 20 * ms,
+			},
+			ReorderBudget:      2,
+			ReorderSpan:        1,
+			ReorderFlush:       1 * ms,
+			Horizon:            4 * ms,
+			Drain:              60 * ms,
+			ProgressWindow:     25 * ms,
 			MaxPendingEvents:   64,
 			MaxQuiescentEvents: 8,
 			Independent:        EmitIndependent,

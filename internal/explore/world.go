@@ -45,12 +45,15 @@ type pendEvent struct {
 
 // world is one execution's system under test plus its monitors.
 type world struct {
-	sc   *Scenario
-	opts *Options
-	ctl  *controller
-	eng  *sim.Engine
-	r    *kernel.Router
-	gens []*workload.Generator
+	sc      *Scenario
+	opts    *Options
+	ctl     *controller
+	eng     *sim.Engine
+	r       *kernel.Router
+	gens    []*workload.Generator
+	snd     *kernel.TCPSender
+	tcpRx   *kernel.TCPReceiver
+	reorder *fault.WireReorder
 
 	labels  map[any]string
 	fnNames map[uintptr]string
@@ -140,11 +143,31 @@ func newWorld(sc *Scenario, opts *Options, ctl *controller) *world {
 		}
 	}
 
-	// Workload: fixed-gap generators so arrivals tie.
+	// Workload: fixed-gap generators so arrivals tie. With a TCP flow,
+	// source 0 hosts the sender instead of a generator.
 	for i := 0; i < sc.Sources; i++ {
+		if sc.TCP != nil && i == 0 {
+			continue
+		}
 		g := w.r.AttachGenerator(i, fixedGap(sc.Gap), uint64(sc.PacketsPerSource))
 		w.labels[g] = fmt.Sprintf("gen%d", i)
 		w.gens = append(w.gens, g)
+	}
+	if tc := sc.TCP; tc != nil {
+		rx := w.r.OpenTCPReceiver(tc.Port)
+		if tc.Variant == kernel.VariantSACK {
+			rx.EnableSACK()
+		}
+		if tc.Resequence > 0 {
+			rx.SetResequencing(tc.Resequence)
+		}
+		snd := w.r.AttachTCPSender(0, kernel.TCPSenderConfig{
+			Port: tc.Port, MSS: tc.MSS, TotalBytes: tc.TotalBytes,
+			RTO: tc.RTO, MaxCwnd: tc.MaxCwnd, Variant: tc.Variant,
+		})
+		w.snd, w.tcpRx = snd, rx
+		w.labels[snd] = "tcpsender"
+		w.labels[rx] = "tcpreceiver"
 	}
 
 	// Fault choice points, referred to the exploration controller.
@@ -153,6 +176,11 @@ func newWorld(sc *Scenario, opts *Options, ctl *controller) *world {
 		for _, in := range w.r.Ins {
 			adv.AttachRxIntrLoss(in, sc.IntrLossBudget)
 		}
+	}
+	if sc.ReorderBudget > 0 {
+		w.reorder = adv.AttachWireReorder(eng, w.r.SourceWires[0], "srcwire0",
+			sc.ReorderBudget, sc.ReorderSpan, sc.ReorderFlush)
+		w.labels[w.reorder] = "reorder:srcwire0"
 	}
 	for _, at := range sc.StallProbes {
 		adv.ScheduleStall(eng, sim.Time(0).Add(at), w.r.Ins[0], sc.StallDuration)
@@ -169,6 +197,9 @@ func newWorld(sc *Scenario, opts *Options, ctl *controller) *world {
 func (w *world) start() {
 	for _, g := range w.gens {
 		g.Start()
+	}
+	if w.snd != nil {
+		w.snd.Start()
 	}
 	w.monitorEvery = w.sc.ProgressWindow / 3
 	if w.monitorEvery <= 0 {
@@ -275,7 +306,29 @@ func (w *world) check() (string, string) {
 				alive, d, w.sc.ProgressWindow)
 		}
 	}
+	if on&InvNoSpuriousRtx != 0 && w.snd != nil {
+		recovery := w.snd.Retransmits.Value() + w.snd.Timeouts.Value() +
+			w.snd.RtxSegments.Value()
+		if recovery > 0 && !w.lossSignaled() {
+			return "spurious-rtx", fmt.Sprintf(
+				"sender recovery fired (%d fast-retransmit signals, %d timeouts, %d retransmitted segments) on a schedule with no drop and no injected reorder",
+				w.snd.Retransmits.Value(), w.snd.Timeouts.Value(), w.snd.RtxSegments.Value())
+		}
+	}
 	return "", ""
+}
+
+// lossSignaled reports whether anything on this schedule could
+// legitimately have looked like loss to the transport: a frame dropped
+// anywhere in the system, or a reorder the adversary injected. Both
+// counters precede their downstream effects (a drop is counted when the
+// frame dies, an injection when the hold begins), so checking them at
+// any boundary is sound.
+func (w *world) lossSignaled() bool {
+	if w.r.Account().Dropped() > 0 {
+		return true
+	}
+	return w.reorder != nil && w.reorder.Injected() > 0
 }
 
 // checkEnd evaluates the quiescent-state invariants after the drain.
@@ -290,6 +343,12 @@ func (w *world) checkEnd() {
 		if alive := w.r.Account().Alive; alive != 0 {
 			c.fail("progress", fmt.Sprintf(
 				"%d frame(s) still buffered after the drain: the system wedged instead of finishing its work", alive))
+			return
+		}
+		if w.snd != nil && !w.snd.Done {
+			c.fail("progress", fmt.Sprintf(
+				"TCP transfer incomplete at quiescence: %d of %d bytes acknowledged",
+				w.snd.AckedBytes(), w.sc.TCP.TotalBytes))
 			return
 		}
 	}
@@ -327,6 +386,9 @@ func (w *world) generated() uint64 {
 	var n uint64
 	for _, g := range w.gens {
 		n += g.Sent.Value()
+	}
+	if w.snd != nil {
+		n += w.snd.SegmentsSent.Value()
 	}
 	return n
 }
@@ -450,6 +512,12 @@ func (w *world) fingerprint() uint64 {
 		z.bool(n.RxPending())
 		z.bool(n.RxInterruptEnabled())
 		z.bool(n.RxStalled())
+		// Interrupt-coalescing state: whether each queue's holdoff timer
+		// is armed, and (adaptive policy) its current count threshold.
+		for q := 0; q < n.RxQueues(); q++ {
+			z.bool(n.RxQueueHoldoffPending(q))
+			z.int(n.RxQueueCoalesceThresh(q))
+		}
 		z.int(n.TxQueuedLen())
 		z.int(n.TxInFlight())
 		z.int(n.TxCompletedLen())
@@ -517,6 +585,24 @@ func (w *world) fingerprint() uint64 {
 
 	for _, g := range w.gens {
 		z.u64(g.Sent.Value())
+	}
+	// The adversary's reorder point: the remaining choice budget decides
+	// future sites, and each held frame with its remaining displacement
+	// decides future deliveries (its flush backstop is already in the
+	// pending-event hash).
+	if w.reorder != nil {
+		z.int(w.reorder.Budget())
+		z.int(w.reorder.Held())
+		w.reorder.VisitHeld(func(pid uint64, left int) {
+			z.u64(pid)
+			z.int(left)
+		})
+	}
+	// The transport: congestion machine, reassembly state, resequencer
+	// regime — all of it steers future sends and ACKs.
+	if w.snd != nil {
+		w.snd.VisitState(z.u64)
+		w.tcpRx.VisitState(z.u64)
 	}
 	// The progress clock is part of the state: two otherwise identical
 	// states at different distances from the progress deadline have

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"livelock/internal/netstack"
 	"livelock/internal/nic"
 	"livelock/internal/sim"
 )
@@ -112,3 +113,127 @@ func pauseProbe(x, _ any) {
 
 // pauseEnd closes the pause window (sim.Callback shape).
 func pauseEnd(x, _ any) { x.(*pauseWindow).resume() }
+
+// advReorderEntry is one frame a WireReorder point holds out of order.
+type advReorderEntry struct {
+	p     *netstack.Packet
+	left  int        // frames still to pass before release
+	flush sim.Handle // flush-timeout backstop
+}
+
+// WireReorder is the deterministic twin of the plane's wire-layer
+// reorder injector: each of the first budget frames finishing
+// propagation on the wire becomes a two-way choice — deliver in order,
+// or hold until span later frames pass (bounded displacement) or the
+// flush timeout fires, whichever comes first. Like the stochastic
+// injector it displaces frames but never loses one, so every branch
+// stays conservation-clean; the budget counts consultations, bounding
+// the choice sites the point contributes regardless of what Decide
+// returns.
+type WireReorder struct {
+	adv        *Adversary
+	eng        *sim.Engine
+	w          *nic.Wire
+	kind       string
+	budget     int
+	span       int
+	flushAfter sim.Duration
+	held       []advReorderEntry
+	injected   int
+}
+
+// AttachWireReorder arms the reorder choice point on w. name labels the
+// wire in the choice-site kind ("reorder:<name>").
+func (a *Adversary) AttachWireReorder(eng *sim.Engine, w *nic.Wire, name string,
+	budget, span int, flush sim.Duration,
+) *WireReorder {
+	if span <= 0 {
+		panic("fault: non-positive reorder span")
+	}
+	if flush <= 0 {
+		panic("fault: non-positive reorder flush")
+	}
+	pt := &WireReorder{
+		adv: a, eng: eng, w: w, kind: "reorder:" + name,
+		budget: budget, span: span, flushAfter: flush,
+		held: make([]advReorderEntry, 0, budget),
+	}
+	w.SetTap(pt.tap)
+	return pt
+}
+
+// tap owns every frame finishing propagation on the wire and disposes
+// of it exactly once: held out of order, or delivered (aging the holds).
+func (pt *WireReorder) tap(p *netstack.Packet) {
+	if pt.budget > 0 {
+		pt.budget--
+		if pt.adv.Decide(pt.kind, 2) == 1 {
+			pt.injected++
+			pt.held = append(pt.held, advReorderEntry{
+				p:     p,
+				left:  pt.span,
+				flush: pt.eng.AfterCall(pt.flushAfter, advReorderFlush, pt, p),
+			})
+			return
+		}
+	}
+	pt.w.Deliver(p)
+	pt.pass()
+}
+
+// pass ages every held frame by the one that just went by and releases
+// the expired prefix in insertion order (entries share the span, so
+// expiry is always a prefix). Released frames bypass the tap: they must
+// not re-enter the choice point or age their fellow holds.
+func (pt *WireReorder) pass() {
+	if len(pt.held) == 0 {
+		return
+	}
+	for i := range pt.held {
+		pt.held[i].left--
+	}
+	n := 0
+	for n < len(pt.held) && pt.held[n].left <= 0 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		pt.eng.Cancel(pt.held[i].flush)
+		pt.w.Deliver(pt.held[i].p)
+		pt.held[i].p = nil
+	}
+	rest := copy(pt.held, pt.held[n:])
+	pt.held = pt.held[:rest]
+}
+
+// advReorderFlush is the hold-timeout callback (sim.Callback shape): a
+// held frame ran out of successors, deliver it now. Frames released by
+// aging cancel their backstop, so a firing timer always finds its frame.
+func advReorderFlush(a, b any) {
+	pt, p := a.(*WireReorder), b.(*netstack.Packet)
+	for i := range pt.held {
+		if pt.held[i].p == p {
+			pt.held = append(pt.held[:i], pt.held[i+1:]...)
+			pt.w.Deliver(p)
+			return
+		}
+	}
+}
+
+// Injected reports how many holds the adversary chose (each one is a
+// loss signal the transport may legitimately react to).
+func (pt *WireReorder) Injected() int { return pt.injected }
+
+// Budget reports the remaining choice consultations.
+func (pt *WireReorder) Budget() int { return pt.budget }
+
+// Held reports how many frames are currently held out of order.
+func (pt *WireReorder) Held() int { return len(pt.held) }
+
+// VisitHeld walks the held frames in insertion order (explore
+// fingerprinting: the hold set and each frame's remaining displacement
+// are forward-relevant state).
+func (pt *WireReorder) VisitHeld(f func(pid uint64, left int)) {
+	for i := range pt.held {
+		f(pt.held[i].p.ID, pt.held[i].left)
+	}
+}

@@ -46,6 +46,18 @@ type Config struct {
 	// MaxDelay bounds the extra per-frame delay. Default 1ms.
 	MaxDelay sim.Duration
 
+	// Reorder injector (wire layer, after the delay check in tap
+	// order): each frame is held with probability ReorderProb until
+	// ReorderSpan later frames pass it on the same wire, then
+	// delivered — displaced but never lost. ReorderMode picks bounded
+	// displacement (FIFO re-entry) or the multi-path swap model (LIFO
+	// batch reversal); ReorderFlush bounds the hold so tail frames with
+	// no successors still arrive.
+	ReorderProb  float64
+	ReorderSpan  int          // default 3 (enough displacement for three dupacks)
+	ReorderMode  ReorderMode  // displace | swap
+	ReorderFlush sim.Duration // default 1ms
+
 	// Device layer. StallPeriod/StallDuration open a receive stall
 	// window of StallDuration every StallPeriod on every attached NIC:
 	// arriving frames are lost at the device. Both must be positive to
@@ -77,7 +89,7 @@ type Config struct {
 // Enabled reports whether any injector is configured.
 func (c Config) Enabled() bool {
 	return c.DropProb > 0 || c.TruncateProb > 0 || c.CorruptProb > 0 ||
-		c.DupProb > 0 || c.DelayProb > 0 ||
+		c.DupProb > 0 || c.DelayProb > 0 || c.ReorderProb > 0 ||
 		(c.StallPeriod > 0 && c.StallDuration > 0) ||
 		c.IntrLossProb > 0 ||
 		(c.ScreendPausePeriod > 0 && c.ScreendPauseDuration > 0)
@@ -89,6 +101,12 @@ func (c Config) Enabled() bool {
 func (c Config) withDefaults() Config {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = sim.Millisecond
+	}
+	if c.ReorderSpan <= 0 {
+		c.ReorderSpan = 3
+	}
+	if c.ReorderFlush <= 0 {
+		c.ReorderFlush = sim.Millisecond
 	}
 	if c.StallPeriod > 0 && c.StallDuration >= c.StallPeriod {
 		c.StallDuration = c.StallPeriod - 1
@@ -108,6 +126,7 @@ var MetricNames = []string{
 	"fault.wire.corrupted",
 	"fault.wire.duplicated",
 	"fault.wire.delayed",
+	"fault.wire.reordered",
 	"fault.nic.stalldrops",
 	"fault.nic.resetdrops",
 	"fault.nic.lostintrs",
@@ -132,6 +151,13 @@ type Plane struct {
 	Corrupted  *stats.Counter
 	Duplicated *stats.Counter
 	Delayed    *stats.Counter
+	// Reordered counts frames the reorder injector held out of order;
+	// every one is eventually delivered (displaced, never dropped).
+	Reordered *stats.Counter
+
+	// reorders holds per-wire reorder state, attach order, only when
+	// ReorderProb is configured.
+	reorders []*reorderState
 
 	// ResetDrops counts frames discarded from rx rings by ResetOnStall
 	// windows (per-NIC stall/lost-interrupt counts live on the NICs).
@@ -171,6 +197,7 @@ func NewPlane(eng *sim.Engine, pool *netstack.Pool, cfg Config, routerSeed uint6
 		Corrupted:     stats.NewCounter("fault.wire.corrupted"),
 		Duplicated:    stats.NewCounter("fault.wire.duplicated"),
 		Delayed:       stats.NewCounter("fault.wire.delayed"),
+		Reordered:     stats.NewCounter("fault.wire.reordered"),
 		ResetDrops:    stats.NewCounter("fault.nic.resetdrops"),
 		ScreendPauses: stats.NewCounter("fault.screend.pauses"),
 	}
@@ -179,17 +206,24 @@ func NewPlane(eng *sim.Engine, pool *netstack.Pool, cfg Config, routerSeed uint6
 // Config returns the normalized configuration the plane runs with.
 func (pl *Plane) Config() Config { return pl.cfg }
 
-// AttachWire installs the wire-layer injector on w.
+// AttachWire installs the wire-layer injector on w. With ReorderProb
+// configured the wire gets its own hold state, so displacement is
+// measured against frames sharing the wire, never across links.
 func (pl *Plane) AttachWire(w *nic.Wire) {
-	w.SetTap(func(p *netstack.Packet) { pl.tapFrame(w, p) })
+	var rs *reorderState
+	if pl.cfg.ReorderProb > 0 {
+		rs = newReorderState(pl, w)
+		pl.reorders = append(pl.reorders, rs)
+	}
+	w.SetTap(func(p *netstack.Packet) { pl.tapFrame(w, rs, p) })
 }
 
 // tapFrame owns every frame finishing propagation on a tapped wire and
 // disposes of it exactly once. Fault order is fixed (drop, truncate,
-// corrupt, duplicate, delay) and each check draws from the RNG only
-// when its probability is non-zero, so a given config always consumes
-// the same stream.
-func (pl *Plane) tapFrame(w *nic.Wire, p *netstack.Packet) {
+// corrupt, duplicate, delay, reorder) and each check draws from the RNG
+// only when its probability is non-zero, so a given config always
+// consumes the same stream.
+func (pl *Plane) tapFrame(w *nic.Wire, rs *reorderState, p *netstack.Packet) {
 	c := &pl.cfg
 	if c.DropProb > 0 && pl.rng.Float64() < c.DropProb {
 		pl.WireDrops.Inc()
@@ -223,6 +257,14 @@ func (pl *Plane) tapFrame(w *nic.Wire, p *netstack.Packet) {
 		d := sim.Duration(1 + pl.rng.Intn(int(c.MaxDelay)))
 		pl.Delayed.Inc()
 		pl.eng.AfterCall(d, deliverDelayed, w, p)
+		return
+	}
+	if rs != nil {
+		if c.ReorderProb > 0 && pl.rng.Float64() < c.ReorderProb && rs.hold(p) {
+			return
+		}
+		w.Deliver(p)
+		rs.pass()
 		return
 	}
 	w.Deliver(p)
@@ -321,6 +363,7 @@ func (pl *Plane) LostIntrs() uint64 {
 func (pl *Plane) RegisterMetrics(reg *metrics.Registry) error {
 	for _, c := range []*stats.Counter{
 		pl.WireDrops, pl.Truncated, pl.Corrupted, pl.Duplicated, pl.Delayed,
+		pl.Reordered,
 	} {
 		if err := reg.Counter(c.Name(), c); err != nil {
 			return err

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"livelock/internal/netstack"
+	"livelock/internal/nic"
+	"livelock/internal/sim"
+)
+
+// ReorderMode selects the wire-tap reordering model.
+type ReorderMode int
+
+const (
+	// ReorderDisplace is bounded displacement: each selected frame is
+	// held while ReorderSpan later frames pass it, then delivered —
+	// held frames re-enter in their original relative order (FIFO).
+	ReorderDisplace ReorderMode = iota
+	// ReorderSwap is the multi-path model: selected frames take the
+	// "slow path" and, when a hold expires, the slow-path batch drains
+	// in reverse (LIFO), the way striping across parallel paths turns a
+	// contiguous burst inside out.
+	ReorderSwap
+)
+
+// String names the mode for flags and labels.
+func (m ReorderMode) String() string {
+	if m == ReorderSwap {
+		return "swap"
+	}
+	return "displace"
+}
+
+// ParseReorderMode maps a flag string to a mode.
+func ParseReorderMode(s string) (ReorderMode, bool) {
+	switch s {
+	case "", "displace":
+		return ReorderDisplace, true
+	case "swap":
+		return ReorderSwap, true
+	}
+	return ReorderDisplace, false
+}
+
+// maxReorderHeld bounds the frames a wire's reorder injector may hold
+// at once; a candidate arriving with the hold array full is delivered
+// in order instead (the RNG draw still happened, so the stream is
+// unperturbed).
+const maxReorderHeld = 16
+
+type reorderEntry struct {
+	p     *netstack.Packet
+	left  int        // frames still to pass before release
+	flush sim.Handle // flush-timeout backstop
+}
+
+// reorderState is one wire's reorder injector. Entries age only when a
+// frame passes the tap's main line (dropped frames never arrive and
+// delay-held frames pass elsewhere), so the displacement is measured in
+// delivered frames, which is what a receiver observes.
+type reorderState struct {
+	pl   *Plane
+	w    *nic.Wire
+	held []reorderEntry // len 0..maxReorderHeld, backing array preallocated
+}
+
+func newReorderState(pl *Plane, w *nic.Wire) *reorderState {
+	return &reorderState{pl: pl, w: w, held: make([]reorderEntry, 0, maxReorderHeld)}
+}
+
+// hold takes ownership of p, reporting false (caller delivers) when the
+// hold array is full. The flush timer guarantees a tail frame with no
+// successors is still delivered.
+func (rs *reorderState) hold(p *netstack.Packet) bool {
+	if len(rs.held) == maxReorderHeld {
+		return false
+	}
+	rs.pl.Reordered.Inc()
+	rs.held = append(rs.held, reorderEntry{
+		p:     p,
+		left:  rs.pl.cfg.ReorderSpan,
+		flush: rs.pl.eng.AfterCall(rs.pl.cfg.ReorderFlush, reorderFlushFire, rs, p),
+	})
+	return true
+}
+
+// pass ages every held frame by the one that just went by and delivers
+// the expired prefix. Entries are inserted with the same span and age
+// together, so expired entries always form a prefix in insertion order.
+func (rs *reorderState) pass() {
+	if len(rs.held) == 0 {
+		return
+	}
+	for i := range rs.held {
+		rs.held[i].left--
+	}
+	n := 0
+	for n < len(rs.held) && rs.held[n].left <= 0 {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if rs.pl.cfg.ReorderMode == ReorderSwap {
+		for i := n - 1; i >= 0; i-- {
+			rs.release(i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			rs.release(i)
+		}
+	}
+	rest := copy(rs.held, rs.held[n:])
+	rs.held = rs.held[:rest]
+}
+
+// release cancels entry i's flush backstop and delivers its frame.
+// Delivery bypasses the tap (a released frame must not re-enter the
+// injectors or age its fellow holds).
+func (rs *reorderState) release(i int) {
+	rs.pl.eng.Cancel(rs.held[i].flush)
+	rs.w.Deliver(rs.held[i].p)
+	rs.held[i].p = nil
+}
+
+// reorderFlushFire is the hold-timeout callback (sim.Callback shape): a
+// held frame ran out of successors, deliver it now. Frames released by
+// aging cancel their backstop, so a firing timer always finds its
+// frame.
+func reorderFlushFire(a, b any) {
+	rs, p := a.(*reorderState), b.(*netstack.Packet)
+	for i := range rs.held {
+		if rs.held[i].p == p {
+			rs.held = append(rs.held[:i], rs.held[i+1:]...)
+			rs.w.Deliver(p)
+			return
+		}
+	}
+}
+
+// HeldReorder reports how many frames the wire-layer reorder injectors
+// currently hold across attached wires (conservation accounting treats
+// them as alive in flight).
+func (pl *Plane) HeldReorder() int {
+	total := 0
+	for _, rs := range pl.reorders {
+		total += len(rs.held)
+	}
+	return total
+}

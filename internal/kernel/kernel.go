@@ -983,6 +983,7 @@ type Accounting struct {
 	AppConsumed   uint64 // datagrams consumed by local applications
 	FragsConsumed uint64 // fragment frames absorbed by reassembly
 	EchoConsumed  uint64 // echo requests consumed by in-place reply conversion
+	TCPConsumed   uint64 // TCP segments consumed by in-kernel receivers
 	Alive         int    // packets still buffered in rings/queues/wires
 
 	// Fault-plane buckets; all zero when Config.Fault is disabled.
@@ -1040,6 +1041,9 @@ func (r *Router) Account() Accounting {
 		a.FilterDrops = r.screend.Rejected.Value()
 	}
 	a.FragsConsumed = r.FragsConsumed.Value()
+	for _, rx := range r.tcpPorts {
+		a.TCPConsumed += rx.Segments.Value()
+	}
 	a.SocketDrops = r.NoSocketDrops.Value()
 	for _, s := range r.sockets {
 		a.SocketDrops += s.buf.Drops.Value()
@@ -1062,7 +1066,8 @@ func (a Accounting) Sources(generated uint64) uint64 {
 // application, or still buffered.
 func (a Accounting) Sinks() uint64 {
 	return a.Delivered + a.RevDelivered + a.Malformed + a.Dropped() +
-		a.AppConsumed + a.FragsConsumed + a.EchoConsumed + uint64(a.Alive)
+		a.AppConsumed + a.FragsConsumed + a.EchoConsumed + a.TCPConsumed +
+		uint64(a.Alive)
 }
 
 // Audit verifies packet conservation: every frame generators offered
@@ -1088,13 +1093,13 @@ func (r *Router) Audit(generated uint64) error {
 		"kernel: packet conservation violated: sources=%d (generated=%d originated=%d duplicated=%d) != sinks=%d "+
 			"(delivered=%d rev=%d malformed=%d ring=%d ipintrq=%d screendq=%d outq=%d filter=%d socket=%d "+
 			"fwderr=%d badcksum=%d truncated=%d ttl=%d wire=%d stall=%d reset=%d "+
-			"app=%d frags=%d echo=%d alive=%d): %d frame(s) unaccounted",
+			"app=%d frags=%d echo=%d tcp=%d alive=%d): %d frame(s) unaccounted",
 		sources, generated, a.Originated, a.Duplicated, sinks,
 		a.Delivered, a.RevDelivered, a.Malformed, a.RingDrops, a.IPIntrQDrops, a.ScreendDrops,
 		a.OutQueueDrops, a.FilterDrops, a.SocketDrops,
 		a.FwdErrors, a.BadChecksums, a.Truncated, a.TTLDrops,
 		a.WireDrops, a.StallDrops, a.ResetDrops,
-		a.AppConsumed, a.FragsConsumed, a.EchoConsumed, a.Alive,
+		a.AppConsumed, a.FragsConsumed, a.EchoConsumed, a.TCPConsumed, a.Alive,
 		int64(sources)-int64(sinks))
 }
 

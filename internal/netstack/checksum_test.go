@@ -47,7 +47,14 @@ func TestChecksumVerifiesToZero(t *testing.T) {
 
 func TestChecksumUpdate16MatchesRecompute(t *testing.T) {
 	// Property (RFC 1624): incrementally updating a 16-bit field gives
-	// the same checksum as recomputing from scratch.
+	// the same checksum as recomputing from scratch — except when the
+	// updated data is entirely zero. One's-complement arithmetic has two
+	// representations of zero, and only an all-zero byte string sums to
+	// +0: full recomputation then yields 0xFFFF while the incremental
+	// form, which works from folded 16-bit quantities and can never
+	// reconstruct the exact +0 sum, yields 0x0000. Both verify as zero,
+	// and no real header is all-zero, so the property compares modulo
+	// that single equivalence (see TestChecksumUpdate16AllZeroDualZero).
 	check := func(data []byte, idx uint8, newVal uint16) bool {
 		if len(data) < 4 {
 			return true
@@ -67,9 +74,35 @@ func TestChecksumUpdate16MatchesRecompute(t *testing.T) {
 
 		data[0], data[1] = 0, 0
 		full := Checksum(data)
-		return inc == full
+		if inc == full {
+			return true
+		}
+		// The dual-zero escape hatch: tolerated only when the covered
+		// data is all zero and the two results are the two zeros.
+		for _, b := range data {
+			if b != 0 {
+				return false
+			}
+		}
+		return inc == 0x0000 && full == 0xffff
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChecksumUpdate16AllZeroDualZero(t *testing.T) {
+	// Pin the one input class where incremental update and full
+	// recomputation legitimately disagree: all-zero data. The full
+	// computation of an all-zero buffer is ^(+0) = 0xFFFF; a no-op
+	// incremental update of that checksum adds ~m + m' = 0xFFFF (-0)
+	// to the folded sum and lands on the other zero, ^(-0) = 0x0000.
+	data := []byte{0, 0, 0, 0}
+	full := Checksum(data)
+	if full != 0xffff {
+		t.Fatalf("Checksum(all-zero) = %#04x, want 0xffff", full)
+	}
+	if inc := ChecksumUpdate16(full, 0, 0); inc != 0x0000 {
+		t.Fatalf("ChecksumUpdate16(0xffff, 0, 0) = %#04x, want 0x0000", inc)
 	}
 }

@@ -1,0 +1,243 @@
+package nic
+
+import (
+	"testing"
+
+	"livelock/internal/netstack"
+	"livelock/internal/sim"
+)
+
+// coalesceScript replays a deliver/drain schedule against a fresh NIC
+// and returns the times at which the receive interrupt was asserted.
+// Each step advances the engine to its instant first, so holdoff
+// timers get their chance to fire in between.
+type coalesceStep struct {
+	at    sim.Time
+	drain bool // drain the ring and acknowledge, instead of delivering
+}
+
+func coalesceScript(cfg Config, steps []coalesceStep, until sim.Time) []sim.Time {
+	eng := sim.NewEngine()
+	n := New(eng, "in0", netstack.MAC{}, cfg, nil)
+	var asserts []sim.Time
+	n.SetRxInterrupt(func() { asserts = append(asserts, eng.Now()) })
+	id := uint64(0)
+	for _, st := range steps {
+		eng.Run(st.at)
+		if st.drain {
+			for n.TakeRx() != nil {
+			}
+			n.RxIntrDone()
+		} else {
+			id++
+			n.DeliverFrame(pkt(id, 60))
+		}
+	}
+	eng.Run(until)
+	return asserts
+}
+
+// TestCoalesceImmediateEquivalence pins the zero-perturbation contract
+// that lets every pre-coalescing schedule replay exactly: the immediate
+// policy discards its unused knobs at construction, never arms a
+// holdoff timer, and a count policy with threshold 1 produces the
+// byte-identical assertion timeline (each first frame into a clear
+// latch asserts at its arrival instant — the classic device).
+func TestCoalesceImmediateEquivalence(t *testing.T) {
+	// Knobs under the immediate policy are dead state and must resolve
+	// away, so configs differing only in them compare equal.
+	eng := sim.NewEngine()
+	n := New(eng, "in0", netstack.MAC{}, Config{
+		RxRing: 8, TxRing: 8,
+		Coalesce: CoalesceConfig{Policy: CoalesceImmediate, CountThresh: 7, TimerThresh: 3 * sim.Millisecond},
+	}, nil)
+	if n.Coalesce() != (CoalesceConfig{}) {
+		t.Fatalf("immediate config not normalized: %+v", n.Coalesce())
+	}
+
+	steps := []coalesceStep{
+		{at: 0},
+		{at: sim.Time(10 * us)},
+		{at: sim.Time(40 * us), drain: true},
+		{at: sim.Time(50 * us)},
+		{at: sim.Time(50 * us)},
+		{at: sim.Time(120 * us), drain: true},
+		{at: sim.Time(3000 * us)}, // past any holdoff timer: a trickle arrival
+		{at: sim.Time(4000 * us), drain: true},
+	}
+	base := Config{RxRing: 8, TxRing: 8}
+	immediate := coalesceScript(base, steps, sim.Time(10*sim.Millisecond))
+
+	count1 := base
+	count1.Coalesce = CoalesceConfig{Policy: CoalesceCount, CountThresh: 1, TimerThresh: sim.Millisecond}
+	if got := coalesceScript(count1, steps, sim.Time(10*sim.Millisecond)); len(got) != len(immediate) {
+		t.Fatalf("count-threshold-1 asserts %v, immediate %v", got, immediate)
+	} else {
+		for i := range got {
+			if got[i] != immediate[i] {
+				t.Fatalf("assert %d at %v, immediate at %v", i, got[i], immediate[i])
+			}
+		}
+	}
+	if len(immediate) != 3 {
+		t.Fatalf("immediate asserts = %v, want one per service cycle", immediate)
+	}
+	if n.RxQueueHoldoffPending(0) {
+		t.Fatal("holdoff timer armed under the immediate policy")
+	}
+	if n.CoalesceCountFires.Value() != 0 || n.CoalesceTimerFires.Value() != 0 {
+		t.Fatal("coalescing counters moved under the immediate policy")
+	}
+}
+
+// TestCoalesceCountThreshold pins the count policy's two assertion
+// paths: the threshold fires at exactly CountThresh accumulated frames,
+// and a sub-threshold tail is signaled by the holdoff timer rather than
+// waiting for traffic that never comes.
+func TestCoalesceCountThreshold(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, "in0", netstack.MAC{}, Config{
+		RxRing: 32, TxRing: 32,
+		Coalesce: CoalesceConfig{Policy: CoalesceCount, CountThresh: 3, TimerThresh: 500 * us},
+	}, nil)
+	raises := 0
+	n.SetRxInterrupt(func() { raises++ })
+
+	n.DeliverFrame(pkt(1, 60))
+	n.DeliverFrame(pkt(2, 60))
+	if raises != 0 {
+		t.Fatalf("asserted below threshold (raises=%d)", raises)
+	}
+	if !n.RxQueueHoldoffPending(0) {
+		t.Fatal("holdoff timer not armed on first unsignaled arrival")
+	}
+	n.DeliverFrame(pkt(3, 60))
+	if raises != 1 {
+		t.Fatalf("raises = %d at threshold, want 1", raises)
+	}
+	if n.RxQueueHoldoffPending(0) {
+		t.Fatal("holdoff timer survived the assertion")
+	}
+	if n.CoalesceCountFires.Value() != 1 {
+		t.Fatalf("CoalesceCountFires = %d, want 1", n.CoalesceCountFires.Value())
+	}
+
+	// Sub-threshold tail: one frame after service, then silence. The
+	// timer fires the assertion at exactly the holdoff bound.
+	for n.TakeRx() != nil {
+	}
+	n.RxIntrDone()
+	n.DeliverFrame(pkt(4, 60))
+	armed := eng.Now()
+	eng.Run(armed.Add(499 * us))
+	if raises != 1 {
+		t.Fatalf("raises = %d before the holdoff expired", raises)
+	}
+	eng.Run(armed.Add(500 * us))
+	if raises != 2 {
+		t.Fatalf("raises = %d after the holdoff, want 2", raises)
+	}
+	if n.CoalesceTimerFires.Value() != 1 {
+		t.Fatalf("CoalesceTimerFires = %d, want 1", n.CoalesceTimerFires.Value())
+	}
+
+	// Draining the batch before the timer fires cancels it: an empty
+	// ring has nothing to signal.
+	for n.TakeRx() != nil {
+	}
+	n.RxIntrDone()
+	n.DeliverFrame(pkt(5, 60))
+	for n.TakeRx() != nil {
+	}
+	if n.RxQueueHoldoffPending(0) {
+		t.Fatal("holdoff timer survived a drain to empty")
+	}
+	eng.Run(eng.Now().Add(sim.Duration(2 * sim.Millisecond)))
+	if raises != 2 {
+		t.Fatalf("raises = %d after drained holdoff, want 2 (no spurious assert)", raises)
+	}
+}
+
+// TestCoalesceRingFullAsserts pins the hardware safety valve: a full
+// ring asserts immediately under any policy, regardless of the count
+// threshold or remaining holdoff — holding off past that point would
+// convert coalescing into drops the immediate NIC would not suffer.
+func TestCoalesceRingFullAsserts(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, "in0", netstack.MAC{}, Config{
+		RxRing: 4, TxRing: 4,
+		Coalesce: CoalesceConfig{Policy: CoalesceCount, CountThresh: 16, TimerThresh: sim.Second},
+	}, nil)
+	raises := 0
+	n.SetRxInterrupt(func() { raises++ })
+	for i := uint64(1); i <= 4; i++ {
+		n.DeliverFrame(pkt(i, 60))
+		if want := 0; i == 4 {
+			want = 1
+		} else if raises != want {
+			t.Fatalf("raises = %d after %d frames, want %d", raises, i, want)
+		}
+	}
+	if raises != 1 {
+		t.Fatalf("raises = %d with a full ring, want 1", raises)
+	}
+	if n.InDiscards.Value() != 0 {
+		t.Fatalf("InDiscards = %d, want 0", n.InDiscards.Value())
+	}
+	if n.CoalesceCountFires.Value() != 1 {
+		t.Fatalf("CoalesceCountFires = %d, want 1 (ring-full path)", n.CoalesceCountFires.Value())
+	}
+}
+
+// TestCoalesceAdaptiveAIMD pins the adaptive policy's deterministic
+// AIMD walk of the per-queue effective threshold: timer-forced
+// assertions halve it (light load converges toward immediate
+// signaling), count-triggered assertions raise it by one, capped at
+// the configured maximum.
+func TestCoalesceAdaptiveAIMD(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, "in0", netstack.MAC{}, Config{
+		RxRing: 32, TxRing: 32,
+		Coalesce: CoalesceConfig{Policy: CoalesceAdaptive, CountThresh: 8, TimerThresh: 100 * us},
+	}, nil)
+	n.SetRxInterrupt(func() {})
+	if n.RxQueueCoalesceThresh(0) != 8 {
+		t.Fatalf("initial threshold = %d, want 8", n.RxQueueCoalesceThresh(0))
+	}
+
+	// Light load: single frames that only ever signal by timer. The
+	// threshold halves 8 → 4 → 2 → 1.
+	for _, want := range []int{4, 2, 1} {
+		n.DeliverFrame(pkt(uint64(100+want), 60))
+		eng.Run(eng.Now().Add(200 * us))
+		for n.TakeRx() != nil {
+		}
+		n.RxIntrDone()
+		if got := n.RxQueueCoalesceThresh(0); got != want {
+			t.Fatalf("threshold after timer fire = %d, want %d", got, want)
+		}
+	}
+
+	// Heavy load: back-to-back frames hit the count path and the
+	// threshold climbs one per assertion, capped at the configured 8.
+	for i := 0; i < 12; i++ {
+		before := n.RxQueueCoalesceThresh(0)
+		for j := 0; j < before; j++ {
+			n.DeliverFrame(pkt(uint64(1000+16*i+j), 60))
+		}
+		for n.TakeRx() != nil {
+		}
+		n.RxIntrDone()
+		want := before + 1
+		if want > 8 {
+			want = 8
+		}
+		if got := n.RxQueueCoalesceThresh(0); got != want {
+			t.Fatalf("round %d: threshold = %d, want %d", i, got, want)
+		}
+	}
+	if n.CoalesceTimerFires.Value() != 3 || n.CoalesceCountFires.Value() != 12 {
+		t.Fatalf("fires = count %d / timer %d, want 12 / 3",
+			n.CoalesceCountFires.Value(), n.CoalesceTimerFires.Value())
+	}
+}

@@ -111,6 +111,19 @@ const (
 	StageFragReassembly
 	StageReassembled
 	StageEchoReply
+	// StageTCPAccept: a TCP segment consumed by the in-kernel receiver
+	// (in-order data, reorder-buffered data, or a bare control
+	// segment) — its cycles were useful.
+	StageTCPAccept
+	// StageTCPDupData: a TCP data segment wholly below rcvNxt. Under a
+	// reorder-only fault schedule every such segment is a spurious
+	// retransmission, so this stage is the receiver-side ledger for the
+	// Wu/Demar/Crawford waste: real cycles invested in bytes the
+	// application already has.
+	StageTCPDupData
+	// StageTCPOOODrop: out-of-order TCP data discarded because the
+	// receiver's reorder buffer was full; the sender must retransmit.
+	StageTCPOOODrop
 	NumStages
 )
 
@@ -144,6 +157,9 @@ var stageTexts = [NumStages]string{
 	"fragment to reassembly queue",
 	"datagram reassembled",
 	"ICMP echo reply",
+	"delivered to TCP",
+	"TCP duplicate data DROP (spurious retransmit)",
+	"TCP reorder buffer DROP (full)",
 }
 
 // String returns the stage's legacy trace text.
@@ -171,6 +187,7 @@ var stageSlugs = [NumStages]string{
 	"tx-descriptor", "delivered", "rev-delivered", "icmp-queued",
 	"reply-queued", "no-socket", "sockbuf-drop", "sockbuf-accept",
 	"frag-reassembly", "reassembled", "echo-reply",
+	"tcp-accept", "tcp-dup-data", "tcp-ooo-drop",
 }
 
 // DropReason classifies why a packet was discarded. It is the single
@@ -217,6 +234,13 @@ const (
 	ReasonFaultStall
 	// ReasonFaultReset: discarded from an rx ring by a fault reset.
 	ReasonFaultReset
+	// ReasonTCPDupData: a TCP data segment that duplicated bytes the
+	// receiver already acknowledged. The receive-path cycles it consumed
+	// are wasted work caused by a (possibly spurious) retransmission.
+	ReasonTCPDupData
+	// ReasonTCPOOOFull: out-of-order TCP data discarded because the
+	// receiver's reorder buffer was full.
+	ReasonTCPOOOFull
 	// NumReasons sizes per-reason accounting arrays.
 	NumReasons
 )
@@ -226,6 +250,7 @@ var reasonSlugs = [NumReasons]string{
 	"sockbuf-full", "no-socket", "screend-reject", "ttl-exceeded",
 	"bad-checksum", "truncated", "no-route", "malformed",
 	"fault-wire-drop", "fault-stall", "fault-reset",
+	"tcp-dup-data", "tcp-ooo-full",
 }
 
 // String returns the reason's slug.
@@ -264,6 +289,10 @@ func (d DropReason) Stage() Stage {
 		return StageTruncated
 	case ReasonNoRoute, ReasonMalformed:
 		return StageForwardError
+	case ReasonTCPDupData:
+		return StageTCPDupData
+	case ReasonTCPOOOFull:
+		return StageTCPOOODrop
 	default:
 		return StageNone
 	}

@@ -139,7 +139,7 @@ func TestPublicAllFiguresSmoke(t *testing.T) {
 		Warmup:  100 * Millisecond,
 		Measure: 300 * Millisecond,
 	})
-	if len(figs) != 9 {
+	if len(figs) != 11 {
 		t.Fatalf("AllFigures returned %d figures", len(figs))
 	}
 	for _, f := range figs {
