@@ -14,18 +14,20 @@ vet:
 	$(GO) vet ./...
 
 # Static-invariant gate, matching the CI lint lane: the repo's own
-# analyzers (cmd/lkvet: simdeterminism, hotalloc, handleleak, uncharged)
-# plus `go vet`, then staticcheck and govulncheck at the versions pinned
-# in scripts/lint-extra.sh (skipped gracefully when offline). See
-# DESIGN.md "Static invariants" for what the custom passes enforce and
-# how to excuse a finding with //lkvet:allow.
+# analyzers (cmd/lkvet: simdeterminism, hotalloc, handleleak, uncharged,
+# lockguard) plus `go vet`, then staticcheck and govulncheck at the
+# versions pinned in scripts/lint-extra.sh (skipped gracefully when
+# offline). See DESIGN.md "Static invariants" and §13 "Lock-discipline
+# verification" for what the custom passes enforce and how to excuse a
+# finding with //lkvet:allow.
 lint: lkvet
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	./scripts/lint-extra.sh
 
+LKVET_FLAGS ?=
 lkvet:
-	$(GO) run ./cmd/lkvet -vet ./...
+	$(GO) run ./cmd/lkvet $(LKVET_FLAGS) -vet ./...
 
 test:
 	$(GO) test ./...
@@ -79,12 +81,13 @@ fuzz:
 	done
 
 # Exhaust every built-in exploration scenario: enumerate all bounded
-# interleavings and fault outcomes, checking the seven livelock-freedom
-# invariants in every reachable state (see DESIGN.md §9). Fails on the
-# first scenario with a violation; counterexample scripts are dumped
-# under explore-artifacts/ for replay with lkexplore -replay.
+# interleavings and fault outcomes, checking the livelock-freedom
+# invariants (including the runtime lock-discipline checker on SMP
+# scenarios) in every reachable state (see DESIGN.md §9 and §13). Fails
+# on the first scenario with a violation; counterexample scripts are
+# dumped under explore-artifacts/ for replay with lkexplore -replay.
 explore:
-	for sc in intrloss feedback cyclelimit smpcontend coalesce; do \
+	for sc in intrloss feedback cyclelimit smpcontend lockorder coalesce; do \
 		$(GO) run ./cmd/lkexplore -scenario $$sc -dump explore-artifacts || exit 1; \
 	done
 

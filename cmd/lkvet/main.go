@@ -1,26 +1,31 @@
 // Command lkvet is the repository's static-invariant checker: a
 // multichecker that runs the custom passes in internal/analysis —
-// simdeterminism, hotalloc, handleleak and uncharged — over the
-// simulation packages, optionally alongside `go vet`.
+// simdeterminism, hotalloc, handleleak, uncharged and lockguard — over
+// the simulation packages, optionally alongside `go vet`.
 //
 // The passes enforce properties the test suite can only observe after
 // the fact: runs are pure functions of (config, seed), the event-engine
 // hot path stays allocation-free, timer handles follow the pooled
-// engine's ownership discipline, and simulated work charges simulated
-// cycles. Violations are fixed or excused inline with
-// //lkvet:allow <analyzer> <reason>; stale or malformed excuses are
-// themselves errors, so the exception list can only shrink.
+// engine's ownership discipline, simulated work charges simulated
+// cycles, and lock-guarded shared state is only touched under its
+// declared lock in a cycle-free acquisition order. Violations are fixed
+// or excused inline with //lkvet:allow <analyzer> <reason>; stale or
+// malformed excuses are themselves errors, so the exception list can
+// only shrink.
 //
 // Usage:
 //
-//	lkvet [-vet] [-list] [packages...]
+//	lkvet [-vet] [-list] [-json] [-gh] [packages...]
 //
 // Package patterns default to ./internal/... — the audited surface. Test
 // files are not analyzed: tests legitimately use wall clocks and
-// unsorted iteration.
+// unsorted iteration. -json emits one machine-readable object per
+// diagnostic; -gh emits GitHub Actions ::error annotations alongside
+// the plain lines so CI surfaces findings on the diff view.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +36,7 @@ import (
 	"livelock/internal/analysis"
 	"livelock/internal/analysis/handleleak"
 	"livelock/internal/analysis/hotalloc"
+	"livelock/internal/analysis/lockguard"
 	"livelock/internal/analysis/simdeterminism"
 	"livelock/internal/analysis/uncharged"
 )
@@ -40,6 +46,7 @@ var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	handleleak.Analyzer,
 	uncharged.Analyzer,
+	lockguard.Analyzer,
 }
 
 func main() {
@@ -51,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	runVet := fs.Bool("vet", false, "also run `go vet` over the same packages")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON objects, one per line")
+	asGH := fs.Bool("gh", false, "also emit GitHub Actions ::error annotations")
 	fs.Parse(args)
 
 	if *list {
@@ -89,7 +98,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		switch {
+		case *asJSON:
+			enc, err := json.Marshal(jsonDiag{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(enc))
+		default:
+			fmt.Fprintln(stdout, d)
+			if *asGH {
+				// GitHub's annotation grammar: property values are
+				// comma/colon-delimited, so the free-text message must
+				// have its newlines and percents URL-style escaped.
+				fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=lkvet %s::%s\n",
+					d.Position.Filename, d.Position.Line, d.Position.Column,
+					d.Analyzer, ghEscape(d.Message))
+			}
+		}
 	}
 
 	exit := 0
@@ -106,6 +139,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exit
+}
+
+// jsonDiag is the -json wire shape: stable field names, one object per
+// line, so CI and editors can consume findings without parsing the
+// human format.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ghEscape escapes a message for a GitHub Actions workflow-command
+// value (the ::error data segment).
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 type listedPkg struct {

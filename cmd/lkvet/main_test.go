@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"simdeterminism", "hotalloc", "handleleak", "uncharged"} {
+	for _, name := range []string{"simdeterminism", "hotalloc", "handleleak", "uncharged", "lockguard"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -37,6 +38,62 @@ func TestViolationExitsOne(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "problem(s)") {
 		t.Errorf("missing summary line on stderr: %s", errOut.String())
+	}
+}
+
+func TestRacyKernelFixture(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./testdata/racy"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{
+		"[lockguard]",
+		`guarded state ipintrq requires "ipqLock" (held: none)`,
+		`guarded state outq requires "netLock" (held: ipqLock)`,
+		`call to ifStart requires "netLock" (held: none)`,
+		`lock-order cycle: acquiring "ipqLock" while holding "netLock"`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./testdata/bad"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	var d struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", err, lines[0])
+	}
+	if d.Analyzer != "simdeterminism" || d.Line == 0 || !strings.Contains(d.File, "bad.go") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("message lost in JSON encoding: %+v", d)
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-gh", "./testdata/racy"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "::error file=") ||
+		!strings.Contains(out.String(), "title=lkvet lockguard::") {
+		t.Errorf("missing workflow-command annotations:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,62 @@
+// Package racy is lkvet's lock-discipline end-to-end fixture: a
+// miniature two-lock kernel whose receive path touches shared queues
+// off-lock, whose transmit path skips a requires contract, and whose
+// softint nests the locks in both orders. Kept under testdata
+// (invisible to ./... builds) so lkvet's own test can watch lockguard
+// fail it.
+package racy
+
+import (
+	"livelock/internal/cpu"
+	"livelock/internal/prov"
+	"livelock/internal/sim"
+)
+
+const lockOp = 2 * sim.Microsecond
+
+type miniKernel struct {
+	//lkvet:guards ipqLock
+	ipintrq []int
+	//lkvet:guards netLock
+	outq []int
+
+	rx      *cpu.Task
+	soft    *cpu.Task
+	ipqLock *cpu.FairLock
+	netLock *cpu.FairLock
+}
+
+// rxIntr enqueues the frame before taking ipqLock, then does its
+// locked tail under the wrong lock entirely.
+func (k *miniKernel) rxIntr(v int) {
+	k.ipintrq = append(k.ipintrq, v)
+	k.rx.PostLocked(k.ipqLock, lockOp, prov.CenterRxIntr, func() {
+		k.outq = append(k.outq, v)
+	})
+}
+
+// ifStart is the output-side refill; its contract is netLock.
+//
+//lkvet:requires netLock
+func (k *miniKernel) ifStart() {
+	if len(k.outq) > 0 {
+		k.outq = k.outq[1:]
+	}
+}
+
+// txReclaim calls the refill with no lock held.
+func (k *miniKernel) txReclaim() {
+	k.ifStart()
+}
+
+// softisr acquires ipqLock -> netLock on the dequeue round and
+// netLock -> ipqLock on the reschedule round: a deadlock some
+// schedule can reach.
+func (k *miniKernel) softisr() {
+	k.soft.PostLocked(k.ipqLock, lockOp, prov.CenterIPInput, func() {
+		k.soft.PostLocked(k.netLock, lockOp, prov.CenterIPInput, nil)
+	})
+	k.soft.PostLocked(k.netLock, lockOp, prov.CenterIPInput, func() {
+		k.soft.PostLocked(k.ipqLock, lockOp, prov.CenterIPInput, nil)
+	})
+}

@@ -36,7 +36,7 @@ import (
 // KnownAnalyzers names every analyzer shipped with lkvet. The runner uses
 // it to validate //lkvet:allow annotations; keeping the list here (names
 // only) avoids an import cycle between the framework and the passes.
-var KnownAnalyzers = []string{"simdeterminism", "hotalloc", "handleleak", "uncharged"}
+var KnownAnalyzers = []string{"simdeterminism", "hotalloc", "handleleak", "uncharged", "lockguard"}
 
 // MetaAnalyzer is the analyzer name under which the runner reports
 // annotation-hygiene problems (malformed or unused //lkvet:allow).

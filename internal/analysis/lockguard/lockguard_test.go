@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"livelock/internal/analysis/analysistest"
+	"livelock/internal/analysis/lockguard"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "testdata/src/a")
+}

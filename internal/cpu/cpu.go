@@ -210,6 +210,11 @@ func (t *Task) PostLocked(l *FairLock, cost sim.Duration, center prov.Center, fn
 	}
 	t.items = append(t.items, workItem{cost: cost, center: center, fn: fn, lock: l})
 	c := t.cpu
+	if c.ld != nil {
+		// A PostLocked issued from inside a critical section is the
+		// simulator's nested acquisition: feed the lock-order graph.
+		c.ld.posted(l)
+	}
 	if !t.ready && t != c.cur {
 		c.markReady(t)
 	}
@@ -234,6 +239,11 @@ func (t *Task) peekItem() *workItem { return &t.items[t.head] }
 type CPU struct {
 	eng *sim.Engine
 	id  int
+
+	// ld is the optional lock-discipline checker, shared by every CPU
+	// in the System; nil (the default) disables it with no dispatch
+	// cost beyond the nil compares.
+	ld *Lockdep
 
 	// intEnabled is the per-CPU interrupt-enable flag: while false
 	// (inside a spinlock critical section, or an explicit
@@ -592,6 +602,9 @@ func (c *CPU) start(t *Task) {
 		it.spin = it.lock.reserve(now, it.cost)
 		it.savedInt = c.SaveAndDisableInterrupts()
 		run += it.spin
+		if c.ld != nil {
+			c.ld.acquire(c, it.lock)
+		}
 	}
 	// Closure-free scheduling: the dispatch path runs once per work
 	// item, so a method-value closure here would be the CPU model's
@@ -625,8 +638,19 @@ func (c *CPU) complete() {
 		// round-robin at item granularity.
 		c.markReady(t)
 	}
+	if item.lock != nil && c.ld != nil {
+		c.ld.release(c, item.lock)
+	}
 	if item.fn != nil {
-		item.fn()
+		if item.lock != nil && c.ld != nil {
+			// The commit fn is the critical section's body: it runs at
+			// the unlock instant but logically under the lock.
+			c.ld.enter(c, item.lock)
+			item.fn()
+			c.ld.exit()
+		} else {
+			item.fn()
+		}
 	}
 	c.reschedule()
 }

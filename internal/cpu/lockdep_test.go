@@ -1,0 +1,193 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"livelock/internal/prov"
+	"livelock/internal/sim"
+)
+
+func newLockdepSystem(t *testing.T, n int) (*sim.Engine, *System, *Lockdep, *[]string) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sys := NewSystem(eng, n)
+	ld := NewLockdep()
+	var got []string
+	ld.SetOnViolation(func(msg string) { got = append(got, msg) })
+	sys.SetLockdep(ld)
+	return eng, sys, ld, &got
+}
+
+// A guarded touch from inside the matching PostLocked commit fn is
+// clean; the same touch under a different lock is a violation that
+// names both locks.
+func TestLockdepWrongLockTouch(t *testing.T) {
+	eng, sys, ld, got := newLockdepSystem(t, 2)
+	lockA := NewFairLock("a")
+	lockB := NewFairLock("b")
+	type shared struct{ n int }
+	obj := &shared{}
+	ld.Guard(obj, lockB, "shared counter")
+
+	task := sys.CPU(0).NewTask("k", IPLSoft, 0, ClassKernel)
+	task.PostLocked(lockB, 10*us, prov.CenterIPInput, func() {
+		obj.n++
+		ld.Check(obj) // correct lock: no violation
+	})
+	task.PostLocked(lockA, 10*us, prov.CenterIPInput, func() {
+		obj.n++
+		ld.Check(obj) // wrong lock
+	})
+	eng.Run(sim.Time(sim.Second))
+
+	if len(*got) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", *got)
+	}
+	msg := (*got)[0]
+	if !strings.Contains(msg, `"b"`) || !strings.Contains(msg, `"a"`) {
+		t.Fatalf("violation should name both locks: %q", msg)
+	}
+	if ld.Violations() != 1 || ld.Checks() != 2 {
+		t.Fatalf("Violations=%d Checks=%d, want 1 and 2", ld.Violations(), ld.Checks())
+	}
+}
+
+// A touch from an unlocked item on one CPU while another CPU's
+// spin+hold window on the declared lock is open (in simulated time) is
+// reported as held-on-wrong-CPU, naming the holder.
+func TestLockdepHeldOnWrongCPU(t *testing.T) {
+	eng, sys, ld, got := newLockdepSystem(t, 2)
+	lock := NewFairLock("tbl")
+	type table struct{ n int }
+	obj := &table{}
+	ld.Guard(obj, lock, "flow table")
+
+	// CPU 0 holds the lock for 100µs starting at t=0.
+	holder := sys.CPU(0).NewTask("holder", IPLSoft, 0, ClassKernel)
+	holder.PostLocked(lock, 100*us, prov.CenterIPInput, func() {})
+	// CPU 1 touches the guarded object at t=40µs without the lock.
+	intruder := sys.CPU(1).NewTask("intruder", IPLSoft, 0, ClassKernel)
+	eng.At(sim.Time(30*us), func() {
+		intruder.Post(10*us, func() {
+			obj.n++
+			ld.Check(obj)
+		})
+	})
+	eng.Run(sim.Time(sim.Second))
+
+	if len(*got) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", *got)
+	}
+	if !strings.Contains((*got)[0], "held by cpu0") {
+		t.Fatalf("violation should identify the holding CPU: %q", (*got)[0])
+	}
+}
+
+// A touch outside any critical section, with the lock free, is the
+// plain not-held violation.
+func TestLockdepUnlockedTouch(t *testing.T) {
+	eng, sys, ld, got := newLockdepSystem(t, 2)
+	lock := NewFairLock("q")
+	type q struct{ n int }
+	obj := &q{}
+	ld.Guard(obj, lock, "queue")
+
+	task := sys.CPU(1).NewTask("k", IPLSoft, 0, ClassKernel)
+	task.Post(10*us, func() { ld.Check(obj) })
+	eng.Run(sim.Time(sim.Second))
+
+	if len(*got) != 1 || !strings.Contains((*got)[0], "outside any critical section") {
+		t.Fatalf("violations = %v, want one not-held report", *got)
+	}
+}
+
+// Nested PostLocked in opposite orders on two CPUs builds a->b and
+// b->a edges; the second edge closes a cycle and is reported even
+// though this schedule never deadlocks (the engine serializes them).
+func TestLockdepOrderCycleDetection(t *testing.T) {
+	eng, sys, ld, got := newLockdepSystem(t, 2)
+	lockA := NewFairLock("a")
+	lockB := NewFairLock("b")
+
+	t0 := sys.CPU(0).NewTask("t0", IPLSoft, 0, ClassKernel)
+	t1 := sys.CPU(1).NewTask("t1", IPLSoft, 0, ClassKernel)
+	t0.PostLocked(lockA, 10*us, prov.CenterIPInput, func() {
+		t0.PostLocked(lockB, 10*us, prov.CenterIPInput, nil)
+	})
+	eng.At(sim.Time(200*us), func() {
+		t1.PostLocked(lockB, 10*us, prov.CenterIPInput, func() {
+			t1.PostLocked(lockA, 10*us, prov.CenterIPInput, nil)
+		})
+	})
+	eng.Run(sim.Time(sim.Second))
+
+	if len(*got) != 1 {
+		t.Fatalf("violations = %v, want exactly 1 cycle report", *got)
+	}
+	if !strings.Contains((*got)[0], "lock-order cycle") {
+		t.Fatalf("want a cycle report, got %q", (*got)[0])
+	}
+	edges := ld.OrderEdges()
+	if len(edges) != 2 || edges[0] != "a->b" || edges[1] != "b->a" {
+		t.Fatalf("OrderEdges = %v", edges)
+	}
+}
+
+// Tail-recursive re-posts of the same lock (the SMP kernel loops) are
+// not nesting and must not create self-edges or violations.
+func TestLockdepSelfRepostIsNotNesting(t *testing.T) {
+	eng, sys, ld, got := newLockdepSystem(t, 2)
+	lock := NewFairLock("loop")
+	task := sys.CPU(0).NewTask("k", IPLSoft, 0, ClassKernel)
+	n := 0
+	var step func()
+	step = func() {
+		if n++; n < 5 {
+			task.PostLocked(lock, 10*us, prov.CenterIPInput, step)
+		}
+	}
+	task.PostLocked(lock, 10*us, prov.CenterIPInput, step)
+	eng.Run(sim.Time(sim.Second))
+
+	if len(*got) != 0 || len(ld.OrderEdges()) != 0 {
+		t.Fatalf("violations=%v edges=%v, want none", *got, ld.OrderEdges())
+	}
+}
+
+// A nil *Lockdep is inert: every method no-ops, so call sites need no
+// enablement branches.
+func TestLockdepNilReceiverIsInert(t *testing.T) {
+	var ld *Lockdep
+	ld.Check(&struct{ n int }{})
+	ld.Guard(nil, nil, "") // even invalid args are ignored when disabled
+	ld.SetOnViolation(nil)
+	if ld.Violations() != 0 || ld.Checks() != 0 || ld.OrderEdges() != nil {
+		t.Fatal("nil Lockdep must report zero state")
+	}
+}
+
+// The disabled path must not allocate: posting and completing locked
+// work with no Lockdep installed stays allocation-free per item, and a
+// nil-receiver Check on a pointer argument is free too.
+func TestLockdepDisabledPathZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	sys := NewSystem(eng, 2)
+	lock := NewFairLock("l")
+	task := sys.CPU(0).NewTask("k", IPLSoft, 0, ClassKernel)
+	obj := &struct{ n int }{}
+	var ld *Lockdep
+
+	// Warm up the item ring so append doesn't grow it mid-measurement.
+	task.PostLocked(lock, 10*us, prov.CenterIPInput, nil)
+	eng.Run(sim.Time(100 * us))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		task.PostLocked(lock, 10*us, prov.CenterIPInput, nil)
+		eng.Run(eng.Now() + sim.Time(100*us))
+		ld.Check(obj)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled lockdep path allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -53,6 +53,14 @@ func NewSystem(eng *sim.Engine, n int) *System {
 	return s
 }
 
+// SetLockdep installs (or, with nil, removes) the shared lock-
+// discipline checker on every CPU. Call before the engine runs.
+func (s *System) SetLockdep(ld *Lockdep) {
+	for _, c := range s.cpus {
+		c.ld = ld
+	}
+}
+
 // N returns the number of CPUs.
 func (s *System) N() int { return len(s.cpus) }
 

@@ -67,10 +67,17 @@ const (
 	// retransmitted segments) must never fire. Vacuous for scenarios
 	// without a TCP flow.
 	InvNoSpuriousRtx
+	// InvLockdep: the runtime lock-discipline checker (cpu.Lockdep,
+	// armed on every SMP world) observed no violation on the schedule:
+	// no guarded object touched outside its lock's critical section and
+	// no lock-order cycle. Vacuous for uniprocessor scenarios, where no
+	// FairLock exists.
+	InvLockdep
 
 	// InvAll enables every invariant.
 	InvAll InvariantSet = InvProgress | InvReenable | InvBudget |
-		InvConservation | InvHandles | InvHysteresis | InvNoSpuriousRtx
+		InvConservation | InvHandles | InvHysteresis | InvNoSpuriousRtx |
+		InvLockdep
 )
 
 var invariantNames = []struct {
@@ -84,6 +91,7 @@ var invariantNames = []struct {
 	{InvHandles, "handles"},
 	{InvHysteresis, "hysteresis"},
 	{InvNoSpuriousRtx, "spurious-rtx"},
+	{InvLockdep, "lockdep"},
 }
 
 // String renders the set as a comma-separated list, or "all"/"none".

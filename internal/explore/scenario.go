@@ -244,6 +244,40 @@ func Scenarios() []*Scenario {
 			Independent:        EmitIndependent,
 		},
 		{
+			Name: "lockorder",
+			Desc: "2 tying sources into a 2-core unmodified kernel with screend, so " +
+				"every schedule nests ipintrq work inside net-lock sections and a " +
+				"pausable consumer stalls mid-chain: the lockdep invariant must see " +
+				"no guarded access outside its critical section and no acquisition " +
+				"order cycle on any interleave",
+			Config: kernel.Config{
+				Mode:          kernel.ModeUnmodified,
+				CPUs:          2,
+				Screend:       true,
+				FlowSpread:    1, // single flow; RSS is idle with one queue
+				NIC:           nic.Config{RxRing: 8, TxRing: 8, RxQueues: 1},
+				IPIntrQLimit:  8,
+				OutQueueLimit: 8,
+				ScreendQLimit: 8,
+				ScreendQHigh:  5,
+				ScreendQLow:   2,
+				ClockTick:     1 * ms,
+				PoolBuffers:   64,
+				Seed:          1,
+			},
+			Sources:            2,
+			PacketsPerSource:   2,
+			Gap:                150 * us,
+			PauseProbes:        []sim.Duration{520 * us},
+			PauseDuration:      1 * ms,
+			Horizon:            3 * ms,
+			Drain:              12 * ms,
+			ProgressWindow:     4 * ms,
+			MaxPendingEvents:   64,
+			MaxQuiescentEvents: 8,
+			Independent:        EmitIndependent,
+		},
+		{
 			Name: "coalesce",
 			Desc: "a SACK bulk transfer and 2 tying background sources into the polled " +
 				"kernel with count+timer interrupt coalescing and an adversarial reorder " +

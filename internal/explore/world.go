@@ -62,6 +62,7 @@ type world struct {
 
 	lastProgress sim.Time
 	hystErr      string
+	lockdepErr   string
 	expectHigh   bool // next legal screendq crossing is OnHigh
 	monitorEvery sim.Duration
 }
@@ -89,7 +90,19 @@ func newWorld(sc *Scenario, opts *Options, ctl *controller) *world {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	// Arm the runtime lock-discipline checker on every world. It costs
+	// nothing on uniprocessor configs (no Lockdep is created) and adds
+	// no simulated time on SMP ones, so fingerprints and the committed
+	// corpus are unchanged.
+	cfg.Lockdep = true
 	w.r = kernel.NewRouter(eng, cfg)
+	if ld := w.r.Lockdep(); ld != nil {
+		ld.SetOnViolation(func(msg string) {
+			if w.lockdepErr == "" {
+				w.lockdepErr = msg
+			}
+		})
+	}
 
 	// Stable labels for choice sites and fingerprints.
 	w.labels[w.r] = "router"
@@ -270,6 +283,9 @@ func (w *world) check() (string, string) {
 	now := w.eng.Now()
 	if on&InvHysteresis != 0 && w.hystErr != "" {
 		return "hysteresis", w.hystErr
+	}
+	if on&InvLockdep != 0 && w.lockdepErr != "" {
+		return "lockdep", w.lockdepErr
 	}
 	if on&InvConservation != 0 {
 		if err := w.r.Audit(w.generated()); err != nil {

@@ -19,6 +19,7 @@ package kernel
 
 import (
 	"fmt"
+	"os"
 
 	"livelock/internal/fault"
 	"livelock/internal/metrics"
@@ -27,6 +28,11 @@ import (
 	"livelock/internal/sim"
 	"livelock/internal/trace"
 )
+
+// envLockdep arms the runtime lock-discipline checker for every SMP
+// router in the process (equivalent to Config.Lockdep = true). Read
+// once at startup so a run's behavior cannot change mid-flight.
+var envLockdep = os.Getenv("LIVELOCK_LOCKDEP") != ""
 
 // Mode selects the kernel architecture.
 type Mode int
@@ -290,6 +296,16 @@ type Config struct {
 	// guarded by FairLocks; CPU 0 remains the boot processor running
 	// the clock, housekeeping, screend, and user processes.
 	CPUs int
+
+	// Lockdep, on SMP configurations, arms the runtime lock-discipline
+	// checker (cpu.Lockdep): every touch of lock-guarded kernel state
+	// asserts the declared FairLock's critical section is the one
+	// executing, and nested acquisitions feed a lock-order graph with
+	// cycle detection. The checker observes simulated time but never
+	// charges it, so figures and fingerprints are unchanged; it is for
+	// tests and the explore plane. LIVELOCK_LOCKDEP=1 in the
+	// environment arms it too. See DESIGN.md §13.
+	Lockdep bool
 
 	// IRQCPUs, in ModePolled with CPUs > 1, dedicates the last IRQCPUs
 	// cores to interrupt handling and leaves the remaining CPUs-IRQCPUs

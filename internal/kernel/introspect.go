@@ -47,7 +47,10 @@ func (r *Router) ScreendState() (hung, scheduled bool) {
 // VisitPorts calls fn for every attached interface in registration
 // order (output port first, then inputs), with its routing index, NIC,
 // and output ifqueue. Exploration harnesses use this to fingerprint
-// per-port state; fn must not mutate anything.
+// per-port state; fn must not mutate anything. An observer API: runs
+// between engine steps, never concurrently with the kernel.
+//
+//lkvet:requires boot
 func (r *Router) VisitPorts(fn func(idx int, n *nic.NIC, outq *queue.Queue)) {
 	for _, p := range r.ports {
 		fn(p.idx, p.nic, p.outq)

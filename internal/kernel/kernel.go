@@ -60,17 +60,24 @@ func RouterIP(i int) netstack.Addr {
 // address on that network, and (in interrupt-driven modes) the
 // device-IPL transmit-reclaim task.
 type netPort struct {
-	idx     int
-	nic     *nic.NIC
-	outq    *queue.Queue
-	red     *queue.RED // non-nil when Config.OutputRED; wraps outq
+	idx int
+	nic *nic.NIC
+	//lkvet:guards netLock
+	outq *queue.Queue
+	// red is non-nil when Config.OutputRED; wraps outq.
+	//lkvet:guards netLock
+	red     *queue.RED
 	localIP netstack.Addr
 	txTask  *cpu.Task
+	ld      *cpu.Lockdep // the router's checker, nil unless enabled
 }
 
 // enqueueOut admits a packet to the port's output queue under the
 // configured drop policy.
+//
+//lkvet:requires netLock
 func (p *netPort) enqueueOut(pkt *netstack.Packet) bool {
+	p.ld.Check(p.outq)
 	if p.red != nil {
 		return p.red.Enqueue(pkt)
 	}
@@ -78,7 +85,10 @@ func (p *netPort) enqueueOut(pkt *netstack.Packet) bool {
 }
 
 // dequeueOut removes the next packet for transmission.
+//
+//lkvet:requires netLock
 func (p *netPort) dequeueOut() *netstack.Packet {
+	p.ld.Check(p.outq)
 	if p.red != nil {
 		return p.red.Dequeue()
 	}
@@ -108,6 +118,10 @@ type Router struct {
 	// Ethernets (ICMP errors, application replies), one per input.
 	RevSinks []*nic.Sink
 
+	// fwd holds the shared forwarding tables (routes, ARP, flow
+	// cache): on SMP every mutation and authoritative lookup happens
+	// in the netLock'd output stage of ip_input.
+	//lkvet:guards netLock
 	fwd        *netstack.Forwarder
 	ports      []*netPort
 	portByIdx  map[int]*netPort
@@ -116,7 +130,9 @@ type Router struct {
 	tcpPorts   map[uint16]*TCPReceiver
 
 	// Queues (presence depends on mode/screend).
-	ipintrq  *queue.Queue
+	//lkvet:guards ipqLock
+	ipintrq *queue.Queue
+	//lkvet:guards netLock
 	screendq *queue.Queue
 
 	// SMP lock discipline (nil at CPUs == 1): ipqLock serializes ipintrq
@@ -127,6 +143,12 @@ type Router struct {
 	// time an SMP run adds.
 	ipqLock *cpu.FairLock
 	netLock *cpu.FairLock
+
+	// ld is the runtime lock-discipline checker (DESIGN.md §13):
+	// non-nil only on SMP with Config.Lockdep or LIVELOCK_LOCKDEP=1,
+	// where every touch of the guarded queues and tables above asserts
+	// the touching context holds the declared lock. Nil is free.
+	ld *cpu.Lockdep
 
 	// Sub-systems.
 	unmod   *unmodifiedPath
@@ -181,6 +203,9 @@ type Router struct {
 
 // NewRouter builds and starts a router. The clock begins ticking
 // immediately; attach generators and run the engine to drive traffic.
+// Runs before the engine: fully serialized.
+//
+//lkvet:requires boot
 func NewRouter(eng *sim.Engine, cfg Config) *Router {
 	cfg = cfg.withDefaults()
 	sys := cpu.NewSystem(eng, cfg.CPUs)
@@ -211,6 +236,10 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 	if r.smp() {
 		r.ipqLock = cpu.NewFairLock("ipintrq")
 		r.netLock = cpu.NewFairLock("net")
+		if cfg.Lockdep || envLockdep {
+			r.ld = cpu.NewLockdep()
+			sys.SetLockdep(r.ld)
+		}
 	}
 
 	// Output interface toward the stub Ethernet.
@@ -287,7 +316,30 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 		r.screend = newScreendProc(r)
 	}
 	if cfg.UserProcess {
+		if r.smp() {
+			// The application plane (AppServer replies via transmitOwn)
+			// reaches the output queues without taking netLock; it has
+			// only ever run on the uniprocessor model. Refuse rather
+			// than race.
+			panic("kernel: Config.UserProcess requires CPUs == 1")
+		}
 		r.user = newUserProc(r)
+	}
+
+	// Register every lock-guarded object with the runtime checker. The
+	// set mirrors the static //lkvet:guards annotations, so the dynamic
+	// and static layers enforce the same discipline.
+	if r.ld != nil {
+		r.ld.Guard(r.fwd, r.netLock, "forwarding tables")
+		for _, p := range r.ports {
+			r.ld.Guard(p.outq, r.netLock, p.nic.Name()+" outq")
+		}
+		if r.ipintrq != nil {
+			r.ld.Guard(r.ipintrq, r.ipqLock, "ipintrq")
+		}
+		if r.screendq != nil {
+			r.ld.Guard(r.screendq, r.netLock, "screendq")
+		}
 	}
 
 	// The fault plane attaches to the hostile side of the testbed: the
@@ -327,7 +379,9 @@ func NewRouter(eng *sim.Engine, cfg Config) *Router {
 // subsystems absent from a configuration register constant-zero
 // columns, so timelines from different kernels line up
 // column-for-column. Registration order — and therefore column order —
-// follows this function top to bottom.
+// follows this function top to bottom. Boot-time only.
+//
+//lkvet:requires boot
 func (r *Router) registerMetrics(reg *metrics.Registry) {
 	must := metrics.MustRegister
 	must(metrics.RegisterCPU(reg, r.CPU))
@@ -428,13 +482,16 @@ func registerQueueMetrics(reg *metrics.Registry, q *queue.Queue, name string) {
 }
 
 func (r *Router) addPort(p *netPort) {
+	p.ld = r.ld
 	r.ports = append(r.ports, p)
 	r.portByIdx[p.idx] = p
 	r.localAddrs[p.localIP] = p
 }
 
 // initOutQueue builds the port's output ifqueue under the configured
-// drop policy.
+// drop policy. Boot-time only.
+//
+//lkvet:requires boot
 func (r *Router) initOutQueue(p *netPort, name string, clock func() sim.Time) {
 	if r.Cfg.OutputRED {
 		p.red = queue.NewRED(name, r.Cfg.OutQueueLimit, clock, r.RNG,
@@ -586,6 +643,10 @@ func (r *Router) smp() bool { return r.Cfg.CPUs > 1 }
 // ipintrq lock and the net lock, in that order.
 func (r *Router) Locks() (ipq, net *cpu.FairLock) { return r.ipqLock, r.netLock }
 
+// Lockdep exposes the runtime lock-discipline checker, nil unless the
+// router is SMP and Config.Lockdep (or LIVELOCK_LOCKDEP=1) armed it.
+func (r *Router) Lockdep() *cpu.Lockdep { return r.ld }
+
 // VisitCPUs calls fn for every processor in core order.
 func (r *Router) VisitCPUs(fn func(*cpu.CPU)) { r.Sys.Visit(fn) }
 
@@ -669,6 +730,8 @@ func (r *Router) isLocal(frame []byte) (*netPort, bool) {
 // fastPathHit reports whether a frame's destination is in the
 // forwarding cache (a cost-model peek; the real lookup happens during
 // forwarding).
+//
+//lkvet:requires netLock
 func (r *Router) fastPathHit(frame []byte) bool {
 	if r.fwd.Cache == nil || len(frame) < netstack.EthHeaderLen+netstack.IPv4HeaderLen {
 		return false
@@ -682,7 +745,10 @@ func (r *Router) fastPathHit(frame []byte) bool {
 // true if it was queued on an output interface. On any failure the
 // packet has been released and counted; TTL expiry additionally
 // generates an ICMP time-exceeded back toward the source (RFC 792).
+//
+//lkvet:requires netLock
 func (r *Router) forwardFrame(p *netstack.Packet) bool {
+	r.ld.Check(r.fwd)
 	ifIdx, err := r.fwd.Forward(p.Data)
 	if err != nil {
 		switch err {
@@ -721,6 +787,8 @@ func (r *Router) forwardFrame(p *netstack.Packet) bool {
 // sendICMPError originates an ICMP error quoting the offending frame
 // and queues it toward the offender's source. The CPU cost is part of
 // the caller's current work item, as in a real ip_input path.
+//
+//lkvet:requires netLock
 func (r *Router) sendICMPError(icmpType, code uint8, offender *netstack.Packet) {
 	origIP, err := netstack.EthPayload(offender.Data)
 	if err != nil {
@@ -775,6 +843,8 @@ func (r *Router) sendICMPError(icmpType, code uint8, offender *netstack.Packet) 
 
 // transmitOwn queues a router-originated frame on the port serving dst.
 // Used by the socket layer for application replies.
+//
+//lkvet:requires netLock
 func (r *Router) transmitOwn(p *netstack.Packet, dst netstack.Addr) bool {
 	rt, err := r.fwd.Routes.Lookup(dst)
 	if err != nil {
@@ -802,6 +872,8 @@ func (r *Router) transmitOwn(p *netstack.Packet, dst netstack.Addr) bool {
 // ifStart moves packets from a port's output ifqueue to free transmit
 // descriptors; the CPU cost of this is folded into the caller's
 // per-packet cost.
+//
+//lkvet:requires netLock
 func (r *Router) ifStart(port *netPort) {
 	for !port.outq.Empty() && port.nic.TxDescriptorsFree() > 0 {
 		p := port.dequeueOut()
@@ -818,6 +890,8 @@ func (r *Router) ifStart(port *netPort) {
 // yet available" must be queued); ICMP echo requests are answered in
 // place; UDP datagrams go to the listening socket. The caller has
 // already charged the CPU cost.
+//
+//lkvet:requires netLock
 func (r *Router) deliverLocal(p *netstack.Packet) {
 	if netstack.IsFragment(p.Data) {
 		r.reassembleLocal(p)
@@ -853,6 +927,8 @@ func (r *Router) deliverLocal(p *netstack.Packet) {
 // reassembly queue; a completed datagram re-enters local delivery as a
 // synthesized packet (heap-allocated: reassembled datagrams can exceed
 // the wire-frame pool's buffer size).
+//
+//lkvet:requires netLock
 func (r *Router) reassembleLocal(p *netstack.Packet) {
 	if r.reasm == nil {
 		r.reasm = netstack.NewReassembler(func() sim.Time { return r.Eng.Now() }, 30*sim.Second)
@@ -881,6 +957,8 @@ func (r *Router) reassembleLocal(p *netstack.Packet) {
 
 // handleEcho turns an ICMP echo request into an echo reply in place and
 // transmits it back toward the requester, as icmp_reflect does.
+//
+//lkvet:requires netLock
 func (r *Router) handleEcho(p *netstack.Packet) {
 	var ip netstack.IPv4Header
 	ipb, err := netstack.EthPayload(p.Data)
@@ -1000,7 +1078,10 @@ func (a Accounting) Dropped() uint64 {
 		a.Truncated + a.TTLDrops + a.WireDrops + a.StallDrops + a.ResetDrops
 }
 
-// Account returns the conservation snapshot.
+// Account returns the conservation snapshot. An observer API: called
+// between runs or after a drain, never from inside the simulation.
+//
+//lkvet:requires boot
 func (r *Router) Account() Accounting {
 	a := Accounting{
 		Delivered:    r.Sink.Delivered.Value(),
@@ -1082,6 +1163,8 @@ func (a Accounting) Sinks() uint64 {
 // known exception is a reassembled datagram parked in a local socket
 // buffer (heap-allocated, so invisible to Alive) — none of the audited
 // scenarios deliver fragments to local sockets.
+//
+//lkvet:requires boot
 func (r *Router) Audit(generated uint64) error {
 	a := r.Account()
 	sources := a.Sources(generated)
@@ -1105,6 +1188,9 @@ func (r *Router) Audit(generated uint64) error {
 
 // QueueStats exposes the internal queues for reporting; entries may be
 // nil depending on configuration. outq is the stub-Ethernet ifqueue.
+// An observer API for reporting code outside the simulation.
+//
+//lkvet:requires boot
 func (r *Router) QueueStats() (ipintrq, outq, screendq *queue.Queue) {
 	return r.ipintrq, r.portByIdx[OutIfIndex].outq, r.screendq
 }

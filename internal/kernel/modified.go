@@ -54,6 +54,7 @@ type rxQueueRef struct {
 	pol  *core.Poller
 }
 
+//lkvet:requires boot
 func newPolledPath(r *Router) *polledPath {
 	m := &polledPath{r: r, gate: core.NewGate(), clocked: r.Cfg.ClockedPollInterval > 0}
 	c := r.Cfg.Costs
@@ -145,6 +146,8 @@ func newPolledPath(r *Router) *polledPath {
 			Name: port.nic.Name(),
 			Rx:   rx,
 			Tx:   m.txStep(port),
+			// Uniprocessor only: one core, fully serialized.
+			//lkvet:requires boot
 			EnableInterrupts: func() {
 				// Clocked mode never re-enables interrupts: the next
 				// period's timer finds the work.
@@ -235,6 +238,7 @@ func (m *polledPath) initDevicesSMP() {
 			if m.clocked {
 				return
 			}
+			//lkvet:allow lockguard racy urgency peek at interrupt re-enable; a stale result only re-enables the tx interrupt early
 			if !out.outq.Empty() || out.nic.TxCompletedLen() > r.Cfg.NIC.TxRing/2 {
 				out.nic.TxIntrDone()
 			}
@@ -269,6 +273,7 @@ func (m *polledPath) initDevicesSMP() {
 				if m.gate.Open() {
 					port.nic.RxQueueIntrDone(q)
 				}
+				//lkvet:allow lockguard racy urgency peek at interrupt re-enable; a stale result only re-enables the tx interrupt early
 				if hasTx && (!port.outq.Empty() || port.nic.TxCompletedLen() > r.Cfg.NIC.TxRing/2) {
 					port.nic.TxIntrDone()
 				}
@@ -373,6 +378,9 @@ func clockedPoll(a, _ any) {
 // placing received packets on a queue" (§6.4).
 func (m *polledPath) rxStep(port *netPort) core.Step {
 	c := m.r.Cfg.Costs
+	// Uniprocessor only (rxQueueStep is the SMP variant): one core,
+	// fully serialized, so the step and its commits run as boot context.
+	//lkvet:requires boot
 	return func() (sim.Duration, func(), bool) {
 		p := port.nic.TakeRx()
 		if p == nil {
@@ -380,6 +388,7 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 		}
 		m.r.tapMonitor(p)
 		if _, local := m.r.isLocal(p.Data); local {
+			//lkvet:requires boot
 			return c.PolledRxLocalPerPkt, func() {
 				m.r.invest(p, prov.CenterIPInput, c.PolledRxLocalPerPkt)
 				m.r.observe(prov.StagePollRxLocal, p)
@@ -387,6 +396,7 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 			}, true
 		}
 		if m.r.screend != nil {
+			//lkvet:requires boot
 			return c.PolledRxToScreendPerPkt, func() {
 				m.r.invest(p, prov.CenterIPInput, c.PolledRxToScreendPerPkt)
 				m.r.observe(prov.StagePollRxScreend, p)
@@ -397,6 +407,7 @@ func (m *polledPath) rxStep(port *netPort) core.Step {
 		if m.r.fastPathHit(p.Data) {
 			cost -= c.FastPathSavings
 		}
+		//lkvet:requires boot
 		return cost, func() {
 			m.r.invest(p, prov.CenterIPInput, cost)
 			m.r.observe(prov.StagePollRxForward, p)
@@ -417,6 +428,9 @@ func (m *polledPath) rxQueueStep(port *netPort, q int) core.Step {
 		}
 		m.r.tapMonitor(p)
 		if _, local := m.r.isLocal(p.Data); local {
+			// The commit runs under the device lock: core.Poller posts
+			// it with PostLocked(Device.Lock) — r.netLock here.
+			//lkvet:requires netLock
 			return c.PolledRxLocalPerPkt, func() {
 				m.r.invest(p, prov.CenterIPInput, c.PolledRxLocalPerPkt)
 				m.r.observe(prov.StagePollRxLocal, p)
@@ -424,6 +438,7 @@ func (m *polledPath) rxQueueStep(port *netPort, q int) core.Step {
 			}, true
 		}
 		if m.r.screend != nil {
+			//lkvet:requires netLock
 			return c.PolledRxToScreendPerPkt, func() {
 				m.r.invest(p, prov.CenterIPInput, c.PolledRxToScreendPerPkt)
 				m.r.observe(prov.StagePollRxScreend, p)
@@ -431,9 +446,11 @@ func (m *polledPath) rxQueueStep(port *netPort, q int) core.Step {
 			}, true
 		}
 		cost := c.PolledRxPerPkt
+		//lkvet:allow lockguard unlocked cost-model peek at the flow cache; the authoritative lookup runs in the locked commit
 		if m.r.fastPathHit(p.Data) {
 			cost -= c.FastPathSavings
 		}
+		//lkvet:requires netLock
 		return cost, func() {
 			m.r.invest(p, prov.CenterIPInput, cost)
 			m.r.observe(prov.StagePollRxForward, p)
@@ -450,6 +467,9 @@ func (m *polledPath) txStep(port *netPort) core.Step {
 		if !port.nic.ReclaimTx() {
 			return 0, nil, false
 		}
+		// Under the device lock (r.netLock) on SMP; the uniprocessor
+		// poller registers devices with no lock but runs serialized.
+		//lkvet:requires netLock
 		return c.PolledTxPerPkt, func() {
 			m.r.ifStart(port)
 		}, true
@@ -535,6 +555,7 @@ func (m *polledPath) watchdog() {
 		}
 	}
 	for _, port := range m.r.ports {
+		//lkvet:allow lockguard uniprocessor branch (the SMP case returned above): one core, nothing to race with
 		if !port.outq.Empty() && port.nic.TxCompletedLen() == m.r.Cfg.NIC.TxRing {
 			m.poller.Schedule()
 			return
@@ -561,6 +582,7 @@ func (m *polledPath) watchdogSMP() {
 		if pol == nil || pol.Scheduled() {
 			continue
 		}
+		//lkvet:allow lockguard racy watchdog peek from the boot CPU; a stale result only delays recovery one tick
 		if !port.outq.Empty() && port.nic.TxCompletedLen() == m.r.Cfg.NIC.TxRing {
 			pol.Schedule()
 			return
@@ -572,7 +594,10 @@ func (m *polledPath) watchdogSMP() {
 // queue sits at or above its high watermark. This matters after a
 // feedback timeout released the gate with the queue still full: the
 // watermark callback will not re-fire (hysteresis), so the enqueue path
-// re-raises the inhibition.
+// re-raises the inhibition. Called from the enqueue path, under
+// netLock on SMP.
+//
+//lkvet:requires netLock
 func (r *Router) notifyScreendQueuePressure() {
 	if r.polled == nil || r.polled.feedback == nil {
 		return

@@ -81,8 +81,12 @@ func (r *Router) registerScreendMetrics(reg *metrics.Registry) {
 // submit hands a packet from the IP layer to the screening queue. Called
 // from kernel context (softint or polling thread); the enqueue cost is
 // part of the caller's per-packet work. Watermark callbacks on the queue
-// drive feedback in the modified kernel.
+// drive feedback in the modified kernel. On SMP the caller holds
+// netLock (screendq shares the net lock with the output path).
+//
+//lkvet:requires netLock
 func (s *screendProc) submit(p *netstack.Packet) {
+	s.r.ld.Check(s.r.screendq)
 	if !s.r.screendq.Enqueue(p) {
 		s.r.drop(p, prov.ReasonScreendQFull)
 		p.Release()
@@ -112,6 +116,7 @@ func (r *Router) ResumeScreend() {
 		return
 	}
 	r.screend.hung = false
+	//lkvet:allow lockguard racy emptiness peek from the fault plane; a stale result only costs one wakeup
 	if !r.screendq.Empty() {
 		r.screend.wakeup()
 	}
@@ -132,7 +137,10 @@ func (s *screendProc) wakeup() {
 
 // loop processes one packet per iteration: recv syscall, filter
 // evaluation, and (if accepted) the send syscall whose kernel half runs
-// ip_output and starts transmission.
+// ip_output and starts transmission. Uniprocessor only (loopSMP is the
+// locked variant): one core, fully serialized.
+//
+//lkvet:requires boot
 func (s *screendProc) loop() {
 	if s.hung || s.r.screendq.Empty() {
 		s.scheduled = false
@@ -141,6 +149,7 @@ func (s *screendProc) loop() {
 	c := s.r.Cfg.Costs
 	perPkt := c.ScreendRecvPerPkt + c.ScreendFilterPerPkt +
 		sim.Duration(len(s.rules))*c.ScreendRuleCost
+	//lkvet:requires boot
 	s.task.Post(perPkt, func() {
 		p := s.r.screendq.Dequeue()
 		if p == nil {
@@ -155,6 +164,7 @@ func (s *screendProc) loop() {
 			// The send syscall re-injects the packet; its kernel half
 			// (ip_output, ifqueue enqueue, transmit start) is charged
 			// here, in process context, as in the real system.
+			//lkvet:requires boot
 			s.task.Post(c.ScreendSendPerPkt, func() {
 				s.r.invest(p, prov.CenterScreend, c.ScreendSendPerPkt)
 				s.r.forwardFrame(p)
@@ -174,6 +184,7 @@ func (s *screendProc) loop() {
 // are carved out of the existing syscall costs, so per-packet totals
 // match the uniprocessor path exactly.
 func (s *screendProc) loopSMP() {
+	//lkvet:allow lockguard racy emptiness peek; a stale result only costs one idle reschedule round
 	if s.hung || s.r.screendq.Empty() {
 		s.scheduled = false
 		return
@@ -187,6 +198,7 @@ func (s *screendProc) loopSMP() {
 	}
 	var p *netstack.Packet
 	s.task.PostLocked(s.r.netLock, c.LockOp, prov.CenterScreend, func() {
+		s.r.ld.Check(s.r.screendq)
 		p = s.r.screendq.Dequeue()
 		if p != nil {
 			s.r.invest(p, prov.CenterScreend, c.LockOp)

@@ -188,6 +188,9 @@ func (a *AppServer) reply(req *netstack.Packet) {
 		a.loop()
 		return
 	}
+	// Uniprocessor only (NewRouter refuses UserProcess on SMP): the
+	// user process is serialized with the whole kernel.
+	//lkvet:requires boot
 	a.task.Post(a.cfg.ReplyCost, func() {
 		spec := netstack.FrameSpec{
 			SrcMAC: eth.Dst, DstMAC: eth.Src,

@@ -77,6 +77,13 @@ type TCPReceiver struct {
 // OpenTCPReceiver binds a TCP port on the router for a one-way bulk
 // transfer. It panics if the port is already bound.
 func (r *Router) OpenTCPReceiver(port uint16) *TCPReceiver {
+	if r.smp() {
+		// The receiver's delayed-ACK path (tcpReseqFire → emitAck →
+		// transmitOwn) runs as a bare engine callback, outside any
+		// netLock critical section; it has only ever run on the
+		// uniprocessor model. Refuse rather than race.
+		panic("kernel: TCP endpoints require CPUs == 1")
+	}
 	if _, dup := r.tcpPorts[port]; dup {
 		panic("kernel: TCP port already bound")
 	}
@@ -136,6 +143,8 @@ func boolWord(b bool) uint64 {
 }
 
 // deliverTCP is ip_input's TCP branch; the caller charged the CPU cost.
+//
+//lkvet:requires netLock
 func (r *Router) deliverTCP(p *netstack.Packet) {
 	var th netstack.TCPHeader
 	ipb, err := netstack.EthPayload(p.Data)
@@ -185,7 +194,11 @@ const (
 // segment processes one data segment and emits a cumulative ACK, as
 // 4.3BSD's tcp_input does (no delayed ACKs: every segment is ACKed,
 // which is also what keeps the sender's clock running) — except when
-// the resequencing buffer is absorbing a reorder.
+// the resequencing buffer is absorbing a reorder. Runs inside
+// deliverTCP's netLock contract (its ACK goes out through the shared
+// output path).
+//
+//lkvet:requires netLock
 func (rx *TCPReceiver) segment(ip netstack.IPv4Header, th netstack.TCPHeader, payloadLen int) tcpSegOutcome {
 	rx.Segments.Inc()
 	rx.peerIP, rx.localIP, rx.peerPort = ip.Src, ip.Dst, th.SrcPort
@@ -303,6 +316,7 @@ func tcpReseqFire(a, _ any) {
 		return
 	}
 	rx.signaling = true
+	//lkvet:allow lockguard uniprocessor-only engine callback (OpenTCPReceiver refuses SMP), so no lock exists to hold
 	rx.emitAck()
 }
 
@@ -334,6 +348,8 @@ func (rx *TCPReceiver) sackBlocks() []netstack.SACKBlock {
 // emitAck emits the cumulative ACK (with SACK blocks when enabled)
 // toward the sender via the normal output path, so ACKs compete for
 // descriptors and queue space like any other transmission.
+//
+//lkvet:requires netLock
 func (rx *TCPReceiver) emitAck() {
 	r := rx.r
 	spec := netstack.TCPSpec{

@@ -50,7 +50,11 @@ type TimelineResult struct {
 // RunTimeline builds a router with cfg, offers load at rate pkts/s from
 // t=0, and records a sampled timeline of every registered instrument —
 // the one code path behind lkstat, the lksim/lkfigures timeline flags,
-// and the determinism tests, so they cannot drift apart.
+// and the determinism tests, so they cannot drift apart. A harness
+// entry point: the caller owns the engine, so the whole run is
+// serialized.
+//
+//lkvet:requires boot
 func RunTimeline(cfg Config, rate float64, o TimelineOptions) TimelineResult {
 	if o.Interval <= 0 {
 		o.Interval = 10 * sim.Millisecond

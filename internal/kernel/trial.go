@@ -37,7 +37,10 @@ type TrialResult struct {
 // given duration (after a warmup), and returns measured rates. The
 // measurement window excludes warmup so queue-fill transients do not
 // bias the averages, mirroring the paper's before/after netstat
-// sampling.
+// sampling. A harness entry point: the caller owns the engine, so the
+// whole run is serialized.
+//
+//lkvet:requires boot
 func RunTrial(cfg Config, rate float64, warmup, measure sim.Duration) TrialResult {
 	eng := sim.NewEngine()
 	r := NewRouter(eng, cfg)

@@ -54,6 +54,7 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 			// The hardware interrupt: pay the dispatch cost, then start
 			// the batched per-packet loop.
 			in.SetRxInterrupt(func() {
+				//lkvet:requires boot
 				task.Post(u.r.Cfg.Costs.IntrDispatch, func() { u.rxLoop(in, task) })
 			})
 		}
@@ -71,6 +72,7 @@ func newUnmodifiedPath(r *Router) *unmodifiedPath {
 			})
 		} else {
 			port.nic.SetTxInterrupt(func() {
+				//lkvet:requires boot
 				port.txTask.Post(r.Cfg.Costs.IntrDispatch, func() { u.txLoop(port) })
 			})
 		}
@@ -162,7 +164,10 @@ func (u *unmodifiedPath) fwdPktCost() sim.Duration {
 
 // rxLoop processes one packet per work item at device IPL, continuing
 // while the ring is non-empty (interrupt batching: the dispatch cost was
-// paid once, by the interrupt that started the loop).
+// paid once, by the interrupt that started the loop). Uniprocessor
+// only (rxLoopSMP is the locked variant): one core, fully serialized.
+//
+//lkvet:requires boot
 func (u *unmodifiedPath) rxLoop(in *nic.NIC, task *cpu.Task) {
 	p := in.TakeRx()
 	if p == nil {
@@ -170,6 +175,7 @@ func (u *unmodifiedPath) rxLoop(in *nic.NIC, task *cpu.Task) {
 		return
 	}
 	cost := u.rxPktCost()
+	//lkvet:requires boot
 	task.Post(cost, func() {
 		// Link-level processing done: the device cycles just consumed
 		// are invested in this packet's provenance record, then the
@@ -206,6 +212,9 @@ func (u *unmodifiedPath) schedNetisr() {
 }
 
 // softLoop forwards one packet per work item at softint IPL.
+// Uniprocessor only (softLoopSMP is the locked variant).
+//
+//lkvet:requires boot
 func (u *unmodifiedPath) softLoop() {
 	if u.r.ipintrq.Empty() {
 		u.softintScheduled = false
@@ -216,6 +225,7 @@ func (u *unmodifiedPath) softLoop() {
 		u.r.fastPathHit(head.Data) {
 		cost -= u.r.Cfg.Costs.FastPathSavings
 	}
+	//lkvet:requires boot
 	u.softint.Post(cost, func() {
 		p := u.r.ipintrq.Dequeue()
 		if p != nil {
@@ -230,7 +240,9 @@ func (u *unmodifiedPath) softLoop() {
 // deliverIP is the IP layer: locally-addressed packets go to the
 // socket/ICMP machinery; with screend configured, transit packets are
 // queued to the screening process; otherwise they are forwarded
-// directly.
+// directly. On SMP this runs inside softLoopSMP's netLock section.
+//
+//lkvet:requires netLock
 func (u *unmodifiedPath) deliverIP(p *netstack.Packet) {
 	if _, local := u.r.isLocal(p.Data); local {
 		u.r.deliverLocal(p)
@@ -244,11 +256,15 @@ func (u *unmodifiedPath) deliverIP(p *netstack.Packet) {
 }
 
 // txLoop reclaims one transmit descriptor per work item at device IPL.
+// Uniprocessor only (txLoopSMP is the locked variant).
+//
+//lkvet:requires boot
 func (u *unmodifiedPath) txLoop(port *netPort) {
 	if !port.nic.ReclaimTx() {
 		port.nic.TxIntrDone()
 		return
 	}
+	//lkvet:requires boot
 	port.txTask.Post(u.r.Cfg.Costs.TxDevicePerPkt, func() {
 		u.r.ifStart(port)
 		u.txLoop(port)
@@ -279,6 +295,7 @@ func (u *unmodifiedPath) rxLoopSMP(in *nic.NIC, q int, task *cpu.Task, core int)
 		u.r.tapMonitor(p)
 	})
 	task.PostLocked(u.r.ipqLock, c.LockOp, prov.CenterRxIntr, func() {
+		u.r.ld.Check(u.r.ipintrq)
 		u.r.invest(p, prov.CenterRxIntr, c.LockOp)
 		if u.r.ipintrq.Enqueue(p) {
 			u.r.observe(prov.StageIPIntrQEnqueue, p)
@@ -311,6 +328,7 @@ func (u *unmodifiedPath) schedNetisrOn(core int) {
 // output-side work under netLock.
 func (u *unmodifiedPath) softLoopSMP(core int) {
 	r := u.r
+	//lkvet:allow lockguard racy emptiness peek; a stale result only costs one idle reschedule round
 	if r.ipintrq.Empty() {
 		u.softSched[core] = false
 		return
@@ -323,6 +341,7 @@ func (u *unmodifiedPath) softLoopSMP(core int) {
 	}
 	var p *netstack.Packet
 	t.PostLocked(r.ipqLock, c.LockOp, prov.CenterIPInput, func() {
+		r.ld.Check(r.ipintrq)
 		p = r.ipintrq.Dequeue()
 		if p != nil {
 			r.invest(p, prov.CenterIPInput, c.LockOp)

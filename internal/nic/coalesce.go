@@ -171,9 +171,13 @@ func (n *NIC) Coalesce() CoalesceConfig { return n.coalesce }
 // RxQueueHoldoffPending reports whether queue q's coalescing holdoff
 // timer is armed — frames are waiting unsignaled. Always false under
 // the immediate policy.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueueHoldoffPending(q int) bool { return n.rxq[q].coalesceTimer.Pending() }
 
 // RxQueueCoalesceThresh returns queue q's effective packet-count
 // threshold (the adaptive policy moves it; other policies hold it at
 // the configured value, or zero when coalescing is off).
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueueCoalesceThresh(q int) int { return n.rxq[q].coalesceThresh }

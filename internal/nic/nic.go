@@ -50,7 +50,14 @@ type NIC struct {
 	// Receive side: one or more queues, each with its own ring and
 	// interrupt latch. The interrupt-enable flag, stall state, and
 	// fault hooks are device-wide.
-	rxq        []rxQueue
+	// The receive queues form the "rxipl" serialization domain: real
+	// hardware serializes ring/latch access by running the driver at
+	// device IPL, and the simulator's engine runs one work item at a
+	// time. There is no FairLock to hold — the annotation documents
+	// which methods belong to the device-serialized context.
+	//lkvet:guards rxipl
+	rxq []rxQueue
+	//lkvet:guards rxipl
 	rxq1       [1]rxQueue // backs rxq when there is a single queue
 	rxEnabled  bool
 	rxStalled  bool
@@ -115,6 +122,9 @@ type rxQueue struct {
 }
 
 // New returns a NIC. wire may be nil if the interface never transmits.
+// Boot-time only.
+//
+//lkvet:requires boot
 func New(eng *sim.Engine, name string, mac netstack.MAC, cfg Config, wire *Wire) *NIC {
 	if cfg.RxRing <= 0 || cfg.TxRing <= 0 {
 		panic("nic: ring sizes must be positive")
@@ -167,6 +177,7 @@ func (n *NIC) RegisterMetrics(reg *metrics.Registry) error {
 	if err := reg.Counter(n.name+".opkts", n.OutPkts); err != nil {
 		return err
 	}
+	//lkvet:allow lockguard racy metrics-sampler snapshot of ring occupancy; a torn read skews one sample
 	if err := reg.Gauge(n.name+".rxring", func() float64 { return float64(n.RxLen()) }); err != nil {
 		return err
 	}
@@ -191,6 +202,8 @@ func (n *NIC) String() string { return fmt.Sprintf("nic(%s)", n.name) }
 // --- receive side ---
 
 // RxQueues returns the number of receive queues.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueues() int { return len(n.rxq) }
 
 // SetRxInterrupt installs the receive-interrupt callback (the "interrupt
@@ -198,6 +211,8 @@ func (n *NIC) RxQueues() int { return len(n.rxq) }
 // once per assertion per queue; the driver must call RxIntrDone (or
 // RxQueueIntrDone) when it has drained the ring so a later arrival can
 // assert again.
+//
+//lkvet:requires boot
 func (n *NIC) SetRxInterrupt(fn func()) {
 	for q := range n.rxq {
 		n.rxq[q].onIntr = fn
@@ -207,12 +222,16 @@ func (n *NIC) SetRxInterrupt(fn func()) {
 // SetRxQueueInterrupt installs the MSI-like interrupt callback for one
 // receive queue — how an SMP host steers each queue's interrupts to its
 // own core.
+//
+//lkvet:requires boot
 func (n *NIC) SetRxQueueInterrupt(q int, fn func()) { n.rxq[q].onIntr = fn }
 
 // DeliverFrame implements Receiver: a frame has arrived from the wire.
 // Multi-queue NICs steer it by the RSS flow hash; if the target ring is
 // full the frame is dropped by the hardware at zero CPU cost — the
 // cheapest possible place to drop, as §6.4 emphasizes.
+//
+//lkvet:requires rxipl
 func (n *NIC) DeliverFrame(p *netstack.Packet) {
 	if n.rxStalled {
 		// A fault-stalled device loses arriving frames silently; the
@@ -250,6 +269,8 @@ func (n *NIC) DeliverFrame(p *netstack.Packet) {
 // every fragment of a datagram lands on one queue; non-IPv4 and
 // truncated frames go to queue 0. The hash is a pure function of the
 // bytes, so steering is deterministic.
+//
+//lkvet:requires rxipl
 func (n *NIC) rssQueue(frame []byte) int {
 	if len(n.rxq) == 1 {
 		return 0
@@ -313,6 +334,9 @@ func (n *NIC) SetRxIntrLoss(fn func() bool) { n.loseRxIntr = fn }
 // ResetRx discards every frame in the receive ring, as a device reset
 // would, and returns the number discarded. The interrupt latch is left
 // alone: a handler already dispatched simply finds the ring empty.
+// A device action: runs in the rxipl serialization domain.
+//
+//lkvet:requires rxipl
 func (n *NIC) ResetRx() int {
 	count := 0
 	for p := n.TakeRx(); p != nil; p = n.TakeRx() {
@@ -326,6 +350,8 @@ func (n *NIC) ResetRx() int {
 }
 
 // RxPending reports whether any queue's receive interrupt is asserted.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxPending() bool {
 	for q := range n.rxq {
 		if n.rxq[q].pending {
@@ -336,9 +362,13 @@ func (n *NIC) RxPending() bool {
 }
 
 // RxQueuePending reports whether queue q's interrupt is asserted.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueuePending(q int) bool { return n.rxq[q].pending }
 
 // RxLen returns the total receive-ring occupancy across queues.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxLen() int {
 	total := 0
 	for q := range n.rxq {
@@ -348,11 +378,15 @@ func (n *NIC) RxLen() int {
 }
 
 // RxQueueLen returns queue q's ring occupancy.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueueLen(q int) int { return n.rxq[q].count }
 
 // TakeRx removes and returns the oldest received frame from the first
 // non-empty queue (queues scanned in index order), or nil if all rings
 // are empty.
+//
+//lkvet:requires rxipl
 func (n *NIC) TakeRx() *netstack.Packet {
 	for q := range n.rxq {
 		if p := n.TakeRxQueue(q); p != nil {
@@ -364,6 +398,8 @@ func (n *NIC) TakeRx() *netstack.Packet {
 
 // TakeRxQueue removes and returns the oldest received frame from queue
 // q, or nil if that ring is empty.
+//
+//lkvet:requires rxipl
 func (n *NIC) TakeRxQueue(q int) *netstack.Packet {
 	rq := &n.rxq[q]
 	if rq.count == 0 {
@@ -385,6 +421,8 @@ func (n *NIC) TakeRxQueue(q int) *netstack.Packet {
 // current receive interrupt on every queue. If frames remain (or
 // arrived meanwhile) and interrupts are enabled, a new interrupt is
 // asserted immediately.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxIntrDone() {
 	for q := range n.rxq {
 		n.RxQueueIntrDone(q)
@@ -393,6 +431,8 @@ func (n *NIC) RxIntrDone() {
 
 // RxQueueIntrDone acknowledges queue q's interrupt, re-asserting at
 // once if its ring is non-empty.
+//
+//lkvet:requires rxipl
 func (n *NIC) RxQueueIntrDone(q int) {
 	rq := &n.rxq[q]
 	rq.pending = false
@@ -403,6 +443,8 @@ func (n *NIC) RxQueueIntrDone(q int) {
 // Enabling with frames pending asserts an interrupt at once — the
 // modified kernel's drivers re-enable through this and immediately hear
 // about any backlog (§6.4).
+//
+//lkvet:requires rxipl
 func (n *NIC) EnableRxInterrupt(on bool) {
 	n.rxEnabled = on
 	if on {
@@ -511,13 +553,18 @@ func (n *NIC) EnableTxInterrupt(on bool) {
 func (n *NIC) TxPending() bool { return n.txPending }
 
 // Quiesced reports whether the NIC holds no packets and no unreclaimed
-// descriptors, used by teardown conservation checks.
+// descriptors, used by teardown conservation checks after the engine
+// has stopped.
+//
+//lkvet:requires boot
 func (n *NIC) Quiesced() bool {
 	return n.RxLen() == 0 && len(n.txQueue) == 0 && n.txInFlight == 0 && n.txCompleted == 0
 }
 
 // Drain releases every packet held in the rings and returns how many
 // were discarded. Only valid once the simulation has stopped.
+//
+//lkvet:requires boot
 func (n *NIC) Drain() int {
 	count := 0
 	for p := n.TakeRx(); p != nil; p = n.TakeRx() {

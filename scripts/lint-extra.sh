@@ -12,6 +12,10 @@
 # that did run always fail.
 set -u
 
+# Pins re-audited 2026-08 alongside the lockguard pass: 2025.1.1 and
+# v1.1.4 are the newest releases verified to build on the module's Go
+# 1.24 toolchain. Override via the environment to trial a newer tool
+# without editing the pin.
 STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1.1}"
 GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.4}"
 
